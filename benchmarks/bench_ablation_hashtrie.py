@@ -1,0 +1,86 @@
+"""Ablation — Hash-Trie Join's lazy expansion and singleton pruning
+(DESIGN.md §4, [22]).
+
+Toggles Umbra's two signature optimizations on the Fig 15 workload and on
+a benign uniform workload.  Expected: pruning+laziness help the benign
+case (that is why Umbra ships them) and hurt — or at least stop helping —
+under the skewed workload the paper constructs.
+"""
+
+import pytest
+
+from conftest import measure_seconds, run_report
+from repro.bench import print_table
+from repro.data import random_edge_relation, umbra_adversarial_tables
+from repro.joins import HashTrieJoin, resolve_relations
+from repro.planner import parse_query
+
+SKEWED_QUERY = "R1(a,b,d,e), R2(a,c,d,f), R3(a,b,c), R4(b,d,f), R5(c,e,f)"
+VARIANTS = [
+    ("lazy+pruning (Umbra)", True, True),
+    ("lazy only", True, False),
+    ("eager+pruning", False, True),
+    ("eager only", False, False),
+]
+
+
+def skewed_relations():
+    query = parse_query(SKEWED_QUERY)
+    tables = umbra_adversarial_tables(260, alpha=0.95, seed=33)
+    return query, resolve_relations(query, tables)
+
+
+def triangle_relations():
+    query = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+    edges = random_edge_relation(70, 480, seed=34)
+    return query, resolve_relations(query, {"E1": edges, "E2": edges,
+                                            "E3": edges})
+
+
+def run(query, relations, lazy, pruning):
+    return HashTrieJoin(query, relations, lazy=lazy,
+                        singleton_pruning=pruning).run()
+
+
+@pytest.mark.parametrize("lazy,pruning", [(True, True), (False, False)])
+def test_bench_ablation_hashtrie(benchmark, lazy, pruning):
+    query, relations = skewed_relations()
+    benchmark.pedantic(lambda: run(query, relations, lazy, pruning),
+                       rounds=2, iterations=1)
+
+
+def test_report_ablation_hashtrie(benchmark):
+    def body():
+        rows = []
+        for workload, make in (("skewed-5rel", skewed_relations),
+                               ("triangle-uniform", triangle_relations)):
+            counts = set()
+            for label, lazy, pruning in VARIANTS:
+                query, relations = make()
+                result = run(query, relations, lazy, pruning)
+                counts.add(result.count)
+                seconds = measure_seconds(
+                    lambda: run(*make()[0:2], lazy, pruning), repeats=1)
+                driver = HashTrieJoin(query, relations, lazy=lazy,
+                                      singleton_pruning=pruning)
+                driver.run()
+                stats = driver.expansion_stats()
+                rows.append({
+                    "workload": workload,
+                    "variant": label,
+                    "total_ms": round(seconds * 1e3, 2),
+                    "expansions": stats["expansions"],
+                    "redistributed": stats["redistributed"],
+                    "results": result.count,
+                })
+            assert len(counts) == 1, (workload, counts)
+        print_table("Ablation: Hash-Trie lazy expansion / singleton pruning",
+                    rows)
+        # on the skewed workload, laziness must pay runtime redistribution
+        skewed_lazy = next(r for r in rows
+                           if r["workload"] == "skewed-5rel"
+                           and r["variant"] == "lazy+pruning (Umbra)")
+        assert skewed_lazy["redistributed"] > 0
+        return {"rows": rows}
+
+    run_report(benchmark, body, "ablation_hashtrie")

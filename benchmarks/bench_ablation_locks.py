@@ -1,0 +1,43 @@
+"""Ablation — key-range lock granularity (DESIGN.md §4, §3.4.2).
+
+Sweeps the lock granularity through the contention model and verifies the
+paper's tuning claim: 8192 is "robust and close-to-optimal (never more
+than 30% worse than optimal)" across thread counts.
+"""
+
+from conftest import run_report
+from repro.bench import print_series
+from repro.hardware import ParallelBuildModel, granularity_sweep
+
+CAPACITY = 1 << 21
+GRANULARITIES = [64, 512, 4096, 8192, 65536, 524288, CAPACITY]
+THREADS = [2, 4, 8, 10, 16, 20]
+
+
+def test_bench_ablation_locks_model(benchmark):
+    model = ParallelBuildModel()
+    benchmark(lambda: granularity_sweep(model, CAPACITY, GRANULARITIES, 10))
+
+
+def test_report_ablation_locks(benchmark):
+    def body():
+        model = ParallelBuildModel()
+        series = {f"g={g}": [] for g in GRANULARITIES}
+        worst_gap = 0.0
+        for threads in THREADS:
+            sweep = granularity_sweep(model, CAPACITY, GRANULARITIES, threads)
+            best = max(sweep.values())
+            for granularity, speedup in sweep.items():
+                series[f"g={granularity}"].append(round(speedup, 2))
+            gap = 1.0 - sweep[8192] / best
+            worst_gap = max(worst_gap, gap)
+        print_series("Ablation: modelled speedup vs lock granularity",
+                     "threads", THREADS, series)
+        print(f"worst-case gap of granularity 8192 vs optimal: "
+              f"{worst_gap * 100:.1f}%")
+        # §3.4.2's claim
+        assert worst_gap <= 0.30, worst_gap
+        return {"threads": THREADS, "worst_gap": worst_gap,
+                **{k: v for k, v in series.items()}}
+
+    run_report(benchmark, body, "ablation_locks")

@@ -1,0 +1,72 @@
+"""Ablation — Sonic's patch policy (DESIGN.md §4).
+
+Compares the shipped design (patch only spilled buckets, null keys for
+residents) against the ablated extremes:
+
+* *never-patch fidelity check*: a generously overallocated index where
+  patching (almost) never triggers — the fast path the design optimizes;
+* *always-patch*: every bucket force-patched, every lookup paying the
+  patch-key comparison — what Sonic would cost if it replicated parent
+  keys unconditionally instead of "disambiguating only when rare" (§3.3).
+"""
+
+from conftest import bench_rows, measure_seconds, run_report
+from repro.bench import print_table
+from repro.core import SonicConfig, SonicIndex
+
+ROWS = 4000
+COLUMNS = 4
+
+
+def build(overallocation, force_patch):
+    rows = bench_rows(ROWS, COLUMNS, seed=31, domain=40)
+    config = SonicConfig.for_tuples(len(rows), overallocation=overallocation)
+    index = SonicIndex(COLUMNS, config)
+    index.build(rows)
+    if force_patch:
+        for level in range(1, index.num_levels):
+            index.force_patch_fraction(level, 1.0)
+    return index, rows
+
+
+def lookup_cost(index, rows):
+    return measure_seconds(
+        lambda: [index.contains(row) for row in rows[:1000]], repeats=2)
+
+
+def test_bench_ablation_patch_baseline(benchmark):
+    index, rows = build(2.0, force_patch=False)
+    benchmark(lambda: [index.contains(row) for row in rows[:1000]])
+
+
+def test_bench_ablation_patch_always(benchmark):
+    index, rows = build(2.0, force_patch=True)
+    benchmark(lambda: [index.contains(row) for row in rows[:1000]])
+
+
+def test_report_ablation_patch(benchmark):
+    def body():
+        variants = [
+            ("rare-patch (shipped, OF=2)", 2.0, False),
+            ("almost-no-patch (OF=6)", 6.0, False),
+            ("always-patch", 2.0, True),
+        ]
+        rows_out = []
+        for label, overallocation, force in variants:
+            index, rows = build(overallocation, force)
+            stats = index.patch_stats()
+            rows_out.append({
+                "variant": label,
+                "lookup_ms": round(lookup_cost(index, rows) * 1e3, 2),
+                "patched_frac": round(max(stats.values()), 3) if stats else 0,
+                "memory_bytes": index.memory_usage(),
+            })
+        print_table("Ablation: patch policy", rows_out)
+        # the design claim: rare patching must not cost much more than the
+        # (memory-hungry) almost-never-patching configuration
+        shipped = rows_out[0]["lookup_ms"]
+        rare = rows_out[1]["lookup_ms"]
+        assert shipped < 3 * rare
+        return {"rows": rows_out}
+
+    run_report(benchmark, body, "ablation_patch")

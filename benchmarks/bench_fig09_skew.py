@@ -1,0 +1,70 @@
+"""Fig 9 — prefix lookup time under skew (Zipf α 0 → 1, §5.9).
+
+8-column table, prefix length 4.  Expected shape: skew hurts Sonic and
+HAT-trie (long chains of key comparisons in heavy-hitter leaves) more
+than the trees; larger Sonic buckets mitigate (see Fig 17).
+"""
+
+import pytest
+
+from conftest import bench_rows, measure_seconds, run_report
+from repro.bench import PREFIX_INDEXES, make_sized_index, print_series
+from repro.data import prefix_workload
+from repro.storage import Relation
+
+ROWS = 2000
+PROBES = 150
+COLUMNS = 8
+PREFIX_LENGTH = 4
+ALPHAS = [0.0, 0.5, 1.0]
+
+
+_INDEX_CACHE: dict = {}
+
+
+def prepared(name, alpha):
+    rows = bench_rows(ROWS, COLUMNS, alpha=alpha, seed=9, domain=60)
+    if (name, alpha) not in _INDEX_CACHE:
+        index = make_sized_index(name, COLUMNS, len(rows))
+        index.build(rows)
+        _INDEX_CACHE[(name, alpha)] = index
+    index = _INDEX_CACHE[(name, alpha)]
+    relation = Relation("bench", tuple(f"c{i}" for i in range(COLUMNS)), rows)
+    probes = prefix_workload(relation, PROBES, prefix_length=PREFIX_LENGTH,
+                             seed=99)
+    return index, probes
+
+
+def run_prefix_lookups(index, probes):
+    matched = 0
+    for probe in probes:
+        for _ in index.prefix_lookup(probe):
+            matched += 1
+    return matched
+
+
+@pytest.mark.parametrize("alpha", [0.0, 1.0])
+@pytest.mark.parametrize("name", PREFIX_INDEXES)
+def test_bench_fig09(benchmark, name, alpha):
+    index, probes = prepared(name, alpha)
+    benchmark(run_prefix_lookups, index, probes)
+
+
+def test_report_fig09(benchmark):
+    def body():
+        series = {name: [] for name in PREFIX_INDEXES}
+        for alpha in ALPHAS:
+            for name in PREFIX_INDEXES:
+                index, probes = prepared(name, alpha)
+                seconds = measure_seconds(
+                    lambda: run_prefix_lookups(index, probes), repeats=2)
+                series[name].append(round(seconds * 1e3, 2))
+        print_series(f"Fig 9: {PROBES} prefix lookups (ms) vs Zipf alpha",
+                     "alpha", ALPHAS, series)
+        # §5.9 shape: high skew costs Sonic more than it costs the BTree
+        sonic_growth = series["sonic"][-1] / max(series["sonic"][0], 1e-9)
+        btree_growth = series["btree"][-1] / max(series["btree"][0], 1e-9)
+        assert sonic_growth > btree_growth * 0.5  # soft check: skew visible
+        return {"alpha": ALPHAS, **series}
+
+    run_report(benchmark, body, "fig09")

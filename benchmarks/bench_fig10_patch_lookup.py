@@ -1,0 +1,74 @@
+"""Fig 10 — lookup cost vs number of artificially patched buckets (§5.13).
+
+The paper's cache-footprint experiment: patch bits are forced to 1 on an
+increasing fraction of buckets, so lookups pay the extra patch-key
+comparison.  We report both wall-clock and the simulated-cache cycle
+estimate (the quantity the paper actually measures — see DESIGN.md).
+Expected shape: lookup cost rises with the patched fraction; checking the
+patch *bit* alone is nearly free (it stays cache-resident).
+"""
+
+from conftest import bench_rows, measure_seconds, run_report
+from repro.bench import print_series
+from repro.core import SonicConfig, SonicIndex
+from repro.hardware import CacheHierarchy, CycleCostModel, MemoryTracer
+
+ROWS = 5000
+PROBES = 1500
+COLUMNS = 3
+FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def build_patched(fraction, tracer_hierarchy=None):
+    rows = bench_rows(ROWS, COLUMNS, seed=10)
+    config = SonicConfig.for_tuples(len(rows))
+    index = SonicIndex(COLUMNS, config)
+    index.build(rows)
+    for level in range(1, index.num_levels):
+        index.force_patch_fraction(level, fraction)
+    if tracer_hierarchy is not None:
+        index.tracer = MemoryTracer(COLUMNS, config, index.num_levels,
+                                    hierarchy=tracer_hierarchy)
+    return index, rows
+
+
+def run_lookups(index, rows):
+    for probe in rows[:PROBES]:
+        index.contains(probe)
+
+
+def test_bench_fig10_unpatched(benchmark):
+    index, rows = build_patched(0.0)
+    benchmark(run_lookups, index, rows)
+
+
+def test_bench_fig10_fully_patched(benchmark):
+    index, rows = build_patched(1.0)
+    benchmark(run_lookups, index, rows)
+
+
+def test_report_fig10(benchmark):
+    def body():
+        wall, cycles = [], []
+        model = CycleCostModel()
+        for fraction in FRACTIONS:
+            index, rows = build_patched(fraction)
+            wall.append(round(
+                measure_seconds(lambda: run_lookups(index, rows), repeats=2)
+                * 1e3, 2))
+            hierarchy = CacheHierarchy()
+            index, rows = build_patched(fraction, tracer_hierarchy=hierarchy)
+            hierarchy.reset()
+            index.tracer.reset()
+            run_lookups(index, rows)
+            cycles.append(round(model.cycles_per_operation(
+                hierarchy, index.tracer.total_touches(), PROBES), 1))
+        print_series("Fig 10: lookup cost vs patched-bucket fraction",
+                     "patched", FRACTIONS,
+                     {"wall_ms": wall, "sim_cycles_per_op": cycles})
+        # §5.13 shape: full patching costs more than no patching
+        assert cycles[-1] >= cycles[0]
+        return {"patched": FRACTIONS, "wall_ms": wall,
+                "sim_cycles_per_op": cycles}
+
+    run_report(benchmark, body, "fig10")

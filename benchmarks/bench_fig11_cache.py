@@ -1,0 +1,70 @@
+"""Fig 11 — lookup time vs index size: the cache cliff (§5.13).
+
+The paper varies index size and observes per-lookup time jump as the
+structure outgrows L1 and later L3.  Python wall-clock cannot see this,
+so the bench drives the trace-based cache simulator (Xeon 4114 geometry)
+and reports simulated cycles per lookup.  Expected shape: flat while the
+index fits a level, stepping up at each capacity boundary.
+"""
+
+from conftest import bench_rows, run_report
+from repro.bench import print_series
+from repro.core import SonicConfig, SonicIndex
+from repro.hardware import CacheHierarchy, CycleCostModel, MemoryTracer
+
+COLUMNS = 2
+PROBES = 3000
+SIZES = [256, 1024, 4096, 16384, 65536]
+
+
+def simulate(num_rows):
+    rows = bench_rows(num_rows, COLUMNS, seed=11, domain=max(num_rows * 4, 64))
+    config = SonicConfig.for_tuples(len(rows))
+    hierarchy = CacheHierarchy()
+    index = SonicIndex(COLUMNS, config)
+    index.tracer = MemoryTracer(COLUMNS, config, index.num_levels,
+                                hierarchy=hierarchy)
+    index.build(rows)
+    hierarchy.reset()
+    index.tracer.reset()
+    for position in range(PROBES):
+        index.contains(rows[position % len(rows)])
+    model = CycleCostModel()
+    return (model.cycles_per_operation(hierarchy,
+                                       index.tracer.total_touches(), PROBES),
+            hierarchy.stats.level_hits,
+            index.tracer.total_bytes)
+
+
+def test_bench_fig11_small(benchmark):
+    benchmark.pedantic(simulate, args=(1024,), rounds=1, iterations=1)
+
+
+def test_bench_fig11_large(benchmark):
+    benchmark.pedantic(simulate, args=(65536,), rounds=1, iterations=1)
+
+
+def test_report_fig11(benchmark):
+    def body():
+        cycles = []
+        footprints = []
+        l1_rates = []
+        for size in SIZES:
+            per_op, hits, footprint = simulate(size)
+            total = sum(hits.values()) + 1
+            cycles.append(round(per_op, 1))
+            footprints.append(footprint)
+            l1_rates.append(round(hits["L1"] / total, 3))
+        print_series("Fig 11: simulated lookup cost vs index size",
+                     "rows", SIZES,
+                     {"cycles_per_lookup": cycles,
+                      "index_bytes": footprints,
+                      "L1_hit_rate": l1_rates})
+        # the cliff: lookups on an L1-resident index are much cheaper than
+        # on one far beyond it
+        assert cycles[0] < cycles[-1]
+        assert l1_rates[0] > l1_rates[-1]
+        return {"rows": SIZES, "cycles_per_lookup": cycles,
+                "L1_hit_rate": l1_rates}
+
+    run_report(benchmark, body, "fig11")

@@ -1,0 +1,69 @@
+"""Fig 13 — build performance for variable-length (string) keys (§5.12).
+
+Expected shape: Sonic is the *worst* performer on raw variable-length
+strings (whole-key comparisons at every level); byte-oriented tries
+(ART, HAT-trie) handle them natively.  With dictionary encoding (the
+paper's recommended fix) Sonic performs as on integers — the report
+includes that column to close the loop.
+"""
+
+import pytest
+
+from conftest import measure_seconds, run_report
+from repro.bench import make_sized_index, print_series
+from repro.data import string_table
+
+ROWS = 2500
+COLUMNS = 3
+INDEXES = ("sonic", "hashset", "btree", "art", "hattrie", "hiermap")
+
+
+def string_rows():
+    return string_table("strings", ROWS, COLUMNS, key_length=14, seed=13).rows
+
+
+def dictionary_encode(rows):
+    """The paper's remedy: map strings to dense integer codes."""
+    codes: dict[str, int] = {}
+    encoded = []
+    for row in rows:
+        encoded.append(tuple(codes.setdefault(value, len(codes))
+                             for value in row))
+    return encoded
+
+
+def build(name, rows):
+    index = make_sized_index(name, COLUMNS, len(rows))
+    index.build(rows)
+    return index
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_bench_fig13(benchmark, name):
+    rows = string_rows()
+    benchmark.pedantic(build, args=(name, rows), rounds=3, iterations=1)
+
+
+def test_report_fig13(benchmark):
+    def body():
+        rows = string_rows()
+        encoded = dictionary_encode(rows)
+        raw = {}
+        dictionary = {}
+        for name in INDEXES:
+            raw[name] = round(measure_seconds(
+                lambda: build(name, rows), repeats=2) * 1e3, 2)
+            dictionary[name] = round(measure_seconds(
+                lambda: build(name, encoded), repeats=2) * 1e3, 2)
+        table_rows = [
+            {"index": name, "strings_ms": raw[name],
+             "dict_encoded_ms": dictionary[name]}
+            for name in INDEXES
+        ]
+        from repro.bench import print_table
+        print_table("Fig 13: build time, variable-length keys", table_rows)
+        # §5.12 shape: dictionary encoding must bring Sonic back in line
+        assert dictionary["sonic"] < raw["sonic"]
+        return {"raw_ms": raw, "dict_ms": dictionary}
+
+    run_report(benchmark, body, "fig13")

@@ -1,0 +1,92 @@
+"""Fig 16 — parallel Sonic build: thread scaling and the NUMA cliff (§3.4.2,
+§5.11).
+
+Two components, per DESIGN.md's substitution policy:
+
+* the *real* key-range-locked parallel build runs under threads (its
+  correctness is covered in tests; the GIL hides speedup), reporting the
+  measured contention profile;
+* the deterministic :class:`ParallelBuildModel` converts a measured
+  single-thread build time plus the lock-stripe configuration into the
+  projected scaling curve the paper plots.
+"""
+
+from conftest import bench_rows, measure_seconds, run_report
+from repro.bench import print_series
+from repro.core import ParallelSonicBuilder, SonicConfig, SonicIndex
+from repro.hardware import ParallelBuildModel
+
+ROWS = 6000
+COLUMNS = 3
+THREADS = [1, 2, 4, 8, 10, 12, 16, 20]
+GRANULARITY = 8192
+
+
+def sequential_build_seconds():
+    rows = bench_rows(ROWS, COLUMNS, seed=16)
+    config = SonicConfig.for_tuples(len(rows))
+
+    def build():
+        SonicIndex(COLUMNS, config).build(rows)
+
+    return measure_seconds(build, repeats=3)
+
+
+def test_bench_fig16_sequential_build(benchmark):
+    rows = bench_rows(ROWS, COLUMNS, seed=16)
+    config = SonicConfig.for_tuples(len(rows))
+    benchmark.pedantic(lambda: SonicIndex(COLUMNS, config).build(rows),
+                       rounds=3, iterations=1)
+
+
+def test_bench_fig16_threaded_build(benchmark):
+    rows = bench_rows(ROWS, COLUMNS, seed=16)
+    config = SonicConfig.for_tuples(len(rows))
+
+    def build():
+        index = SonicIndex(COLUMNS, config)
+        ParallelSonicBuilder(index, num_threads=4,
+                             granularity=GRANULARITY).build(rows)
+
+    benchmark.pedantic(build, rounds=2, iterations=1)
+
+
+def test_report_fig16(benchmark):
+    def body():
+        base = sequential_build_seconds()
+        rows = bench_rows(ROWS, COLUMNS, seed=16)
+        config = SonicConfig.for_tuples(len(rows))
+        index = SonicIndex(COLUMNS, config)
+        builder = ParallelSonicBuilder(index, num_threads=4,
+                                       granularity=GRANULARITY)
+        builder.build(rows)
+        local_stripes = builder.locks.stripes_per_level
+
+        # The paper's levels hold 256M+ slots, so granularity 8192 yields
+        # tens of thousands of stripes; our scaled-down build has only a
+        # handful.  The scaling model is therefore evaluated at the
+        # paper's stripe count (the measured local build supplies the
+        # single-thread base time).
+        paper_capacity = 512 * 1024 * 1024
+        stripes = paper_capacity // GRANULARITY
+
+        model = ParallelBuildModel()
+        speedups = [round(model.speedup(threads, stripes), 2)
+                    for threads in THREADS]
+        projected_ms = [round(base * 1e3 / s, 2) for s in speedups]
+        print_series(
+            f"Fig 16: parallel build (1-thread measured {base*1e3:.1f} ms, "
+            f"local stripes={local_stripes}, modelled at paper-scale "
+            f"stripes={stripes}, granularity={GRANULARITY})",
+            "threads", THREADS,
+            {"model_speedup": speedups, "projected_build_ms": projected_ms})
+        # Fig 16 shape: monotone within the socket, flattening beyond it
+        within = speedups[:THREADS.index(10) + 1]
+        assert within == sorted(within)
+        per_thread_10 = speedups[THREADS.index(10)] / 10
+        per_thread_20 = speedups[THREADS.index(20)] / 20
+        assert per_thread_20 < per_thread_10
+        return {"threads": THREADS, "speedup": speedups,
+                "base_ms": base * 1e3}
+
+    run_report(benchmark, body, "fig16")

@@ -1,0 +1,65 @@
+"""Fig 17 — Sonic bucket-size sweep (§5.10).
+
+The paper's knob couples bucket size with overallocation: "large bucket
+size leads to a higher overallocation factor but reduces the operation
+time".  The sweep therefore grows capacity with the bucket (otherwise a
+fixed capacity would shrink the bucket *count* and force allocator
+sharing — more patching, the opposite of the intended trade).  Expected
+shape: patching falls and lookups get cheaper with bucket size, at a
+growing memory/build cost.
+"""
+
+import pytest
+
+from conftest import bench_rows, measure_seconds, run_report
+from repro.bench import print_series
+from repro.core import SonicConfig, SonicIndex
+
+ROWS = 4000
+COLUMNS = 4
+BUCKET_SIZES = [2, 4, 8, 16, 32]
+
+
+def build(bucket_size):
+    rows = bench_rows(ROWS, COLUMNS, seed=17, domain=40)
+    # the paper's coupling: bigger buckets come with more overallocation
+    overallocation = max(2.0, bucket_size / 2)
+    config = SonicConfig.for_tuples(len(rows), bucket_size=bucket_size,
+                                    overallocation=overallocation)
+    index = SonicIndex(COLUMNS, config)
+    index.build(rows)
+    return index, rows
+
+
+@pytest.mark.parametrize("bucket_size", [2, 8, 32])
+def test_bench_fig17_build(benchmark, bucket_size):
+    benchmark.pedantic(build, args=(bucket_size,), rounds=2, iterations=1)
+
+
+def test_report_fig17(benchmark):
+    def body():
+        build_ms, point_ms, prefix_ms, patch_rate = [], [], [], []
+        for bucket_size in BUCKET_SIZES:
+            build_ms.append(round(measure_seconds(
+                lambda: build(bucket_size), repeats=2) * 1e3, 2))
+            index, rows = build(bucket_size)
+            point_ms.append(round(measure_seconds(
+                lambda: [index.contains(row) for row in rows[:800]],
+                repeats=2) * 1e3, 2))
+            prefix_ms.append(round(measure_seconds(
+                lambda: [list(index.prefix_lookup(row[:2]))
+                         for row in rows[:300]],
+                repeats=2) * 1e3, 2))
+            stats = index.patch_stats()
+            patch_rate.append(round(max(stats.values()), 3) if stats else 0.0)
+        print_series("Fig 17: Sonic operation cost vs bucket size",
+                     "bucket_size", BUCKET_SIZES,
+                     {"build_ms": build_ms, "point_ms": point_ms,
+                      "prefix_ms": prefix_ms, "patched_frac": patch_rate})
+        # §5.10 shape: bigger buckets reduce patching
+        assert patch_rate[-1] <= patch_rate[0]
+        return {"bucket_size": BUCKET_SIZES, "build_ms": build_ms,
+                "point_ms": point_ms, "prefix_ms": prefix_ms,
+                "patched_frac": patch_rate}
+
+    run_report(benchmark, body, "fig17")

@@ -1,0 +1,59 @@
+"""Fig 18 — memory usage by index (§5.9).
+
+Design-byte footprints of every structure over the same table, plus the
+§3.5 analytic model for Sonic.  Expected shape: Sonic's footprint is a
+constant factor of the data size; SuRF is the most compact (succinct);
+the hierarchical map pays per-table overheads.
+"""
+
+import pytest
+
+from conftest import bench_rows, run_report
+from repro.bench import BUILD_AND_POINT_INDEXES, make_sized_index, print_table
+from repro.core import sonic_space_estimate
+
+ROWS = 5000
+COLUMNS = 4
+
+
+def build(name):
+    rows = bench_rows(ROWS, COLUMNS, seed=18)
+    index = make_sized_index(name, COLUMNS, len(rows))
+    index.build(rows)
+    return index
+
+
+@pytest.mark.parametrize("name", ["sonic", "surf", "hiermap"])
+def test_bench_fig18(benchmark, name):
+    index = build(name)
+    benchmark(index.memory_usage)
+
+
+def test_report_fig18(benchmark):
+    def body():
+        data_bytes = ROWS * COLUMNS * 8
+        rows = []
+        usage = {}
+        for name in BUILD_AND_POINT_INDEXES:
+            index = build(name)
+            usage[name] = index.memory_usage()
+            rows.append({
+                "index": name,
+                "bytes": usage[name],
+                "x_data": round(usage[name] / data_bytes, 2),
+            })
+        model = sonic_space_estimate(ROWS, [8] * COLUMNS, overallocation=2.0,
+                                     include_counters=True)
+        rows.append({"index": "sonic_model_§3.5", "bytes": model,
+                     "x_data": round(model / data_bytes, 2)})
+        rows.sort(key=lambda row: row["bytes"])
+        print_table(f"Fig 18: memory usage ({ROWS} rows x {COLUMNS} cols, "
+                    f"data = {data_bytes} B)", rows)
+        # Fig 18 shape: Sonic is a constant factor of data size; the
+        # hierarchical map pays per-table overhead above it
+        assert usage["sonic"] < usage["hiermap"]
+        assert usage["surf"] < data_bytes
+        assert usage["sonic"] < 8 * data_bytes
+        return {"usage": usage, "model": model, "data_bytes": data_bytes}
+
+    run_report(benchmark, body, "fig18")

@@ -1,0 +1,95 @@
+"""Index structure explorer: the §5.5–5.10 microbenchmark study in miniature.
+
+Builds every registered index over the same Zipfian table and compares
+build time, point lookups, prefix operations and memory — then walks
+through Sonic's tuning knobs (bucket size, overallocation) and its patch
+statistics.
+
+Run with::
+
+    PYTHONPATH=src python examples/index_explorer.py
+"""
+
+import time
+
+from repro.bench import make_sized_index, print_table
+from repro.core import SonicConfig, SonicIndex
+from repro.data import lookup_workload, prefix_workload, zipf_table
+from repro.indexes import registered_indexes
+
+ROWS = 3000
+COLUMNS = 4
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) * 1e3
+
+
+def main() -> None:
+    table = zipf_table("demo", ROWS, COLUMNS, domain=60, alpha=0.3, seed=1)
+    points = lookup_workload(table, 1000, seed=2)
+    prefixes = prefix_workload(table, 500, prefix_length=2, seed=3)
+
+    rows = []
+    for name in registered_indexes():
+        index = make_sized_index(name, COLUMNS, ROWS)
+        build_ms = timed(lambda: index.build(table.rows))
+        point_ms = timed(lambda: [index.contains(p) for p in points])
+        if index.SUPPORTS_PREFIX:
+            prefix_ms = timed(
+                lambda: [list(index.prefix_lookup(p)) for p in prefixes])
+            count_ms = timed(
+                lambda: [index.count_prefix(p) for p in prefixes])
+        else:
+            prefix_ms = count_ms = "n/a"
+        rows.append({
+            "index": name,
+            "build_ms": round(build_ms, 1),
+            "point_ms": round(point_ms, 1),
+            "prefix_ms": prefix_ms if prefix_ms == "n/a" else round(prefix_ms, 1),
+            "count_ms": count_ms if count_ms == "n/a" else round(count_ms, 1),
+            "memory_KB": round(index.memory_usage() / 1024, 1),
+        })
+    print_table(f"All indexes over {ROWS} x {COLUMNS} Zipfian tuples", rows)
+
+    # ------------------------------------------------------------------
+    # Sonic tuning: bucket size vs patching (the Fig 17 trade-off)
+    # ------------------------------------------------------------------
+    tuning = []
+    for bucket_size in (2, 4, 8, 16, 32):
+        # the paper couples bucket size with overallocation (§5.10): a
+        # bigger bucket at fixed capacity would shrink the bucket *count*
+        # and force allocator sharing, i.e. more patching, not less
+        config = SonicConfig.for_tuples(ROWS, bucket_size=bucket_size,
+                                        overallocation=max(2.0, bucket_size / 2))
+        index = SonicIndex(COLUMNS, config)
+        build_ms = timed(lambda: index.build(table.rows))
+        stats = index.patch_stats()
+        tuning.append({
+            "bucket_size": bucket_size,
+            "build_ms": round(build_ms, 1),
+            "patched_frac": round(max(stats.values()), 3),
+            "memory_KB": round(index.memory_usage() / 1024, 1),
+        })
+    print_table("Sonic bucket-size tuning (capacity grows with bucket)",
+                tuning)
+
+    # overallocation: memory for probe-chain length (and patch rarity)
+    overalloc = []
+    for factor in (1.1, 1.5, 2.0, 4.0):
+        config = SonicConfig.for_tuples(ROWS, overallocation=factor)
+        index = SonicIndex(COLUMNS, config)
+        index.build(table.rows)
+        stats = index.patch_stats()
+        overalloc.append({
+            "overallocation": factor,
+            "memory_KB": round(index.memory_usage() / 1024, 1),
+            "patched_frac": round(max(stats.values()), 3),
+        })
+    print_table("Sonic overallocation factor (§3.5 OF)", overalloc)
+
+
+if __name__ == "__main__":
+    main()

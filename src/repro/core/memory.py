@@ -1,0 +1,55 @@
+"""Sonic's space model (§3.5 of the paper).
+
+For a tuple ``t(a_1 … a_k)`` with per-component sizes ``DTS_i`` and an
+overallocation factor *OF*, the paper states Sonic allocates::
+
+    OF × ( Σ_{i=1}^{k-1} DTS_i      # keys at the k-1 levels
+         + (k-2) × 8B               # next-bucket offsets (all but the last level)
+         + Σ_{i=2}^{k-2} DTS_i      # patch keys at the inner levels
+         + Σ_{i=1}^{k}  DTS_i       # the full tuple at the last level
+         + 1b )                     # patch bit
+
+per tuple.  :func:`sonic_bytes_per_tuple` evaluates that formula and
+:func:`sonic_space_estimate` scales it to a table, which Fig 18 plots;
+:meth:`repro.core.sonic.SonicIndex.memory_usage` reports the *actual*
+allocation of a built index for comparison against this model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+POINTER_BYTES = 8
+PREFIX_COUNTER_BYTES = 4
+
+
+def sonic_bytes_per_tuple(component_sizes: Sequence[int],
+                          include_counters: bool = False) -> float:
+    """Paper's §3.5 per-tuple byte count (before overallocation).
+
+    ``component_sizes`` is ``DTS_1 … DTS_k``.  The paper's formula omits
+    the prefix counters; pass ``include_counters=True`` to add the 4-byte
+    counter per non-last level that the implementation actually keeps.
+    """
+    k = len(component_sizes)
+    if k < 2:
+        raise ConfigurationError("the §3.5 formula is defined for k >= 2 columns")
+    keys = sum(component_sizes[:k - 1])                 # Σ_{i=1}^{k-1}
+    pointers = (k - 2) * POINTER_BYTES
+    patch_keys = sum(component_sizes[1:k - 2])          # Σ_{i=2}^{k-2}
+    tuple_payload = sum(component_sizes)                # Σ_{i=1}^{k}
+    patch_bit = 1 / 8
+    total = keys + pointers + patch_keys + tuple_payload + patch_bit
+    if include_counters:
+        total += (k - 2) * PREFIX_COUNTER_BYTES
+    return total
+
+
+def sonic_space_estimate(tuple_count: int, component_sizes: Sequence[int],
+                         overallocation: float = 1.0,
+                         include_counters: bool = False) -> int:
+    """Model bytes for ``tuple_count`` tuples at overallocation *OF* (Fig 18)."""
+    per_tuple = sonic_bytes_per_tuple(component_sizes, include_counters)
+    return int(overallocation * tuple_count * per_tuple)

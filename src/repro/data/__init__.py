@@ -1,0 +1,46 @@
+"""Workload generators for every experiment in the evaluation."""
+
+from repro.data.graphs import (
+    barabasi_albert_graph,
+    cycle_count_truth,
+    edges_relation,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    random_edge_relation,
+    triangle_count_truth,
+)
+from repro.data.imdb import JobQuery, job_light_queries, make_imdb
+from repro.data.snap import DATASETS, dataset_summary, load_snap_dataset
+from repro.data.synthetic import (
+    adversarial_triangle_tables,
+    lookup_workload,
+    prefix_workload,
+    string_table,
+    umbra_adversarial_tables,
+    zipf_table,
+)
+from repro.data.zipf import ZipfGenerator, zipf_columns
+
+__all__ = [
+    "DATASETS",
+    "JobQuery",
+    "ZipfGenerator",
+    "adversarial_triangle_tables",
+    "barabasi_albert_graph",
+    "cycle_count_truth",
+    "dataset_summary",
+    "edges_relation",
+    "erdos_renyi_graph",
+    "job_light_queries",
+    "load_snap_dataset",
+    "lookup_workload",
+    "make_imdb",
+    "powerlaw_cluster_graph",
+    "prefix_workload",
+    "random_edge_relation",
+    "string_table",
+    "triangle_count_truth",
+    "umbra_adversarial_tables",
+    "zipf_columns",
+    "zipf_table",
+]

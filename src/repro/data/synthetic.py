@@ -1,0 +1,193 @@
+"""Synthetic table generators behind the micro- and macro-benchmarks.
+
+* :func:`zipf_table` — the §5.2 microbenchmark input: ``k``-column tables
+  of Zipfian values (α = 0 is uniform), scaled down from the paper's 256M
+  rows to Python-appropriate sizes.
+* :func:`lookup_workload` — the §5.3 probe mix: half hits, half misses,
+  "so that all levels of the index are traversed during the search".
+* :func:`adversarial_triangle_tables` — the Fig 1 axis from uniform random
+  to *maximally adversarial*: star-shaped relations whose binary-join
+  intermediates are Θ(n²) while the triangle output stays tiny.
+* :func:`umbra_adversarial_tables` — the §5.15 five-relation workload
+  whose skew defeats Hash-Trie Join's singleton pruning / lazy expansion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.zipf import ZipfGenerator, zipf_columns
+from repro.errors import ConfigurationError
+from repro.storage.relation import Relation
+
+
+def zipf_table(name: str, num_rows: int, num_columns: int, domain: int | None = None,
+               alpha: float = 0.0, seed: int = 0, distinct: bool = True) -> Relation:
+    """A ``num_columns``-ary relation of Zipfian values.
+
+    ``domain`` defaults to ``num_rows`` (matching the paper's dense random
+    keys); ``distinct`` deduplicates rows (the join algorithms assume set
+    semantics), topping the table back up to ``num_rows`` where collisions
+    removed rows.
+    """
+    if num_rows < 1 or num_columns < 1:
+        raise ConfigurationError("num_rows and num_columns must be >= 1")
+    if domain is None:
+        domain = num_rows
+    columns = zipf_columns(num_rows, num_columns, domain, alpha, seed)
+    rows = list(zip(*(column.tolist() for column in columns)))
+    if distinct:
+        unique = dict.fromkeys(rows)
+        attempt = 1
+        while len(unique) < num_rows and attempt < 16:
+            deficit = num_rows - len(unique)
+            extra = zipf_columns(deficit * 2, num_columns, domain, alpha,
+                                 seed + 977 * attempt)
+            for row in zip(*(column.tolist() for column in extra)):
+                if len(unique) == num_rows:
+                    break
+                unique.setdefault(row)
+            attempt += 1
+        rows = list(unique)
+    attributes = tuple(f"c{i}" for i in range(num_columns))
+    return Relation(name, attributes, rows)
+
+
+def lookup_workload(relation: Relation, count: int, seed: int = 0,
+                    miss_fraction: float = 0.5,
+                    domain: int | None = None) -> list[tuple]:
+    """``count`` probe tuples, ``miss_fraction`` of them absent (§5.3)."""
+    rng = random.Random(seed)
+    present = set(relation.rows)
+    if domain is None:
+        domain = max((max(row) for row in relation.rows), default=1) + 1
+    probes: list[tuple] = []
+    hits = relation.sample_rows(count - int(count * miss_fraction), rng)
+    probes.extend(hits)
+    arity = relation.arity
+    while len(probes) < count:
+        candidate = tuple(rng.randrange(domain * 2) for _ in range(arity))
+        if candidate not in present:
+            probes.append(candidate)
+    rng.shuffle(probes)
+    return probes
+
+
+def prefix_workload(relation: Relation, count: int, prefix_length: int,
+                    seed: int = 0, miss_fraction: float = 0.5) -> list[tuple]:
+    """``count`` prefix probes of the given length, half misses (§5.3/5.7)."""
+    rng = random.Random(seed)
+    probes: list[tuple] = []
+    hits = relation.sample_rows(count - int(count * miss_fraction), rng)
+    probes.extend(row[:prefix_length] for row in hits)
+    domain = max((max(row) for row in relation.rows), default=1) + 1
+    present = {row[:prefix_length] for row in relation.rows}
+    while len(probes) < count:
+        candidate = tuple(rng.randrange(domain * 2) for _ in range(prefix_length))
+        if candidate not in present:
+            probes.append(candidate)
+    rng.shuffle(probes)
+    return probes
+
+
+def adversarial_triangle_tables(num_rows: int, adversity: float, seed: int = 0,
+                                ) -> dict[str, Relation]:
+    """Triangle-query inputs interpolating uniform → adversarial (Fig 1).
+
+    ``adversity`` ∈ [0, 1]: the fraction of each relation drawn from a
+    *star* pattern — ``R`` gets ``(x, 0)`` and ``(0, x)`` spokes (and
+    likewise S and T), which makes every binary sub-join quadratic in the
+    number of spokes while contributing only a single triangle (0,0,0).
+    The remaining tuples are uniform random, whose triangles are sparse.
+    """
+    if not 0.0 <= adversity <= 1.0:
+        raise ConfigurationError(f"adversity must be in [0,1], got {adversity}")
+    rng = random.Random(seed)
+    adversarial_rows = int(num_rows * adversity)
+    spokes = adversarial_rows // 2
+    domain = max(num_rows, 4)
+
+    def star_rows() -> set[tuple]:
+        rows: set[tuple] = set()
+        while len(rows) < spokes:
+            rows.add((rng.randrange(1, domain), 0))
+        while len(rows) < 2 * spokes:
+            rows.add((0, rng.randrange(1, domain)))
+        rows.add((0, 0))
+        return rows
+
+    def uniform_rows(existing: set[tuple], target: int) -> set[tuple]:
+        rows = set(existing)
+        while len(rows) < target:
+            rows.add((rng.randrange(1, domain), rng.randrange(1, domain)))
+        return rows
+
+    tables = {}
+    for name in ("R", "S", "T"):
+        rows = star_rows() if adversarial_rows else set()
+        rows = uniform_rows(rows, num_rows)
+        tables[name] = Relation(name, ("x", "y"), rows)
+    return tables
+
+
+def umbra_adversarial_tables(num_rows: int, alpha: float = 0.9, seed: int = 0,
+                             ) -> dict[str, Relation]:
+    """The §5.15 workload: R1(a,b,d,e) … R5(c,e,f), skewed against Hash-Trie.
+
+    Shared attributes are drawn from a heavily Zipfian domain so a few
+    heavy-hitter join values carry long chains: Umbra's lazily-pruned trie
+    layers must then be re-materialized at probe time (the paper measures
+    Sonic beating Hash-Trie by ~2× here), while non-shared attributes stay
+    near-unique so singleton pruning looks attractive at build time.
+    """
+    schemas = {
+        "R1": ("a", "b", "d", "e"),
+        "R2": ("a", "c", "d", "f"),
+        "R3": ("a", "b", "c"),
+        "R4": ("b", "d", "f"),
+        "R5": ("c", "e", "f"),
+    }
+    # shared attributes (appear in >= 2 relations) get skew + small domain;
+    # 'e' appears twice too — every attribute here is shared, so vary the
+    # domains instead: the heavy ones are the high-degree attributes.
+    counts: dict[str, int] = {}
+    for attrs in schemas.values():
+        for attribute in attrs:
+            counts[attribute] = counts.get(attribute, 0) + 1
+    domains = {
+        attribute: max(8, num_rows // (8 if counts[attribute] >= 3 else 2))
+        for attribute in counts
+    }
+    generators = {
+        attribute: ZipfGenerator(
+            domains[attribute],
+            alpha if counts[attribute] >= 3 else alpha / 2,
+            seed=seed + 131 * i,
+        )
+        for i, attribute in enumerate(sorted(counts))
+    }
+    tables = {}
+    for name, attrs in schemas.items():
+        rows: set[tuple] = set()
+        guard = 0
+        while len(rows) < num_rows and guard < 32 * num_rows:
+            rows.add(tuple(generators[a].sample_one() for a in attrs))
+            guard += 1
+        tables[name] = Relation(name, attrs, rows)
+    return tables
+
+
+def string_table(name: str, num_rows: int, num_columns: int,
+                 key_length: int = 12, seed: int = 0) -> Relation:
+    """Variable-length string keys for the Fig 13 experiment."""
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    rows: set[tuple] = set()
+    while len(rows) < num_rows:
+        rows.add(tuple(
+            "".join(rng.choice(alphabet)
+                    for _ in range(rng.randrange(3, key_length + 1)))
+            for _ in range(num_columns)
+        ))
+    attributes = tuple(f"s{i}" for i in range(num_columns))
+    return Relation(name, attributes, rows)

@@ -1,0 +1,109 @@
+"""Memory-access tracing for index structures.
+
+A :class:`MemoryTracer` translates the logical touches an instrumented
+index reports (``record(level, region, slot, size)``) into synthetic flat
+addresses, laid out the way the C++ Sonic would place its arrays: per
+level, the key array, prefix counters, next-bucket offsets, patch-bit
+vector, patch-key array and payload rows occupy disjoint contiguous
+regions — the separation §3.3 calls out explicitly ("patch bits and keys
+are stored in memory regions separate from the key-value pairs ... the
+patch-bit vector is designed for a minimal footprint to keep it
+cache-resident").
+
+Traces can be streamed straight into a
+:class:`~repro.hardware.cache.CacheHierarchy` (the Figs 10–12 pipeline) or
+recorded for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SonicConfig
+from repro.errors import ConfigurationError
+
+#: bytes per slot for each traced region
+_REGION_STRIDES = {
+    "key": 8,
+    "count": 4,
+    "next": 8,
+    "patch_bit": 1,   # modelled at byte granularity (bit vector, padded)
+    "patch_key": 8,
+    "row": 8,         # multiplied by arity through the recorded size
+}
+
+_REGION_ORDER = ("key", "count", "next", "patch_bit", "patch_key", "row")
+
+
+class MemoryTracer:
+    """Maps (level, region, slot) touches to addresses; optionally simulates.
+
+    Parameters
+    ----------
+    arity:
+        Tuple width of the traced index (sizes the payload region).
+    config:
+        The index's :class:`~repro.core.config.SonicConfig` (region sizes).
+    num_levels:
+        How many levels the index has.
+    hierarchy:
+        Optional cache hierarchy; when given, every recorded access is
+        replayed immediately.
+    keep_trace:
+        Record (address, size) pairs for offline inspection (memory-hungry
+        for long runs; off by default).
+    """
+
+    def __init__(self, arity: int, config: SonicConfig, num_levels: int,
+                 hierarchy=None, keep_trace: bool = False):
+        if num_levels < 1:
+            raise ConfigurationError("tracer needs at least one level")
+        self.arity = arity
+        self.config = config
+        self.num_levels = num_levels
+        self.hierarchy = hierarchy
+        self.keep_trace = keep_trace
+        self.trace: list[tuple[int, int]] = []
+        self.touches_by_region: dict[str, int] = {r: 0 for r in _REGION_ORDER}
+        self._bases = self._layout()
+
+    def _layout(self) -> dict[tuple[int, str], int]:
+        """Assign a base address to every (level, region) array."""
+        bases: dict[tuple[int, str], int] = {}
+        cursor = 0
+        capacity = self.config.capacity
+        buckets = self.config.num_buckets
+        for level in range(self.num_levels):
+            for region in _REGION_ORDER:
+                stride = _REGION_STRIDES[region]
+                if region == "patch_bit":
+                    length = buckets * stride
+                elif region == "row":
+                    length = capacity * stride * self.arity
+                else:
+                    length = capacity * stride
+                bases[(level, region)] = cursor
+                cursor += length
+                cursor = (cursor + 63) & ~63  # 64 B alignment between arrays
+        self.total_bytes = cursor
+        return bases
+
+    def record(self, level: int, region: str, slot: int, size: int = 8) -> None:
+        """One logical touch from the index (the Sonic ``_touch`` hook)."""
+        base = self._bases.get((level, region))
+        if base is None:
+            raise ConfigurationError(f"untraced region {region!r} at level {level}")
+        stride = _REGION_STRIDES[region]
+        address = base + slot * stride
+        self.touches_by_region[region] = self.touches_by_region.get(region, 0) + 1
+        if self.keep_trace:
+            self.trace.append((address, size))
+        if self.hierarchy is not None:
+            self.hierarchy.access(address, size)
+
+    def reset(self) -> None:
+        self.trace.clear()
+        self.touches_by_region = {r: 0 for r in _REGION_ORDER}
+        if self.hierarchy is not None:
+            self.hierarchy.reset()
+
+    def total_touches(self) -> int:
+        return sum(self.touches_by_region.values())

@@ -1,0 +1,263 @@
+"""Common interface for every index structure in the study.
+
+The paper's C++ framework (§4.1) accepts "any index … as long as it
+provides the required operations".  The required operations (§3.1) are:
+
+* ``insert`` — add one tuple,
+* *point lookup* — is this exact tuple present?
+* *prefix lookup* — enumerate all stored tuples matching a key prefix,
+* *count prefix* — how many stored tuples match a key prefix?
+
+:class:`TupleIndex` is the Python rendering of that contract.  Structures
+that cannot answer prefix queries (plain hash sets, Robin Hood maps — the
+point-lookup-only group in §5.4) raise
+:class:`~repro.errors.UnsupportedOperationError` from the prefix methods and
+advertise it via :attr:`TupleIndex.SUPPORTS_PREFIX`, exactly mirroring the
+paper's exclusion of those structures from the prefix experiments.
+
+Indexes are keyed by *position*: an index of arity ``k`` stores ``k``-ary
+tuples whose components are already permuted into the query's total order
+(see :meth:`repro.storage.relation.Relation.reordered`).  Mapping attribute
+names to positions is the adapter's job, not the index's.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Iterator
+from typing import ClassVar
+
+from repro.errors import SchemaError, UnsupportedOperationError
+
+
+class TupleIndex(abc.ABC):
+    """Abstract base for all tuple indexes in :mod:`repro.indexes`.
+
+    Subclasses set two class attributes consumed by the benchmark harness
+    and the join executor:
+
+    * :attr:`NAME` — the registry key (``"sonic"``, ``"btree"``, …).
+    * :attr:`SUPPORTS_PREFIX` — whether prefix lookup / count prefix work.
+    """
+
+    NAME: ClassVar[str] = "abstract"
+    SUPPORTS_PREFIX: ClassVar[bool] = True
+
+    def __init__(self, arity: int):
+        if arity < 1:
+            raise SchemaError(f"index arity must be >= 1, got {arity}")
+        self.arity = arity
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Required operations (§3.1)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def insert(self, row: tuple) -> None:
+        """Insert one tuple of exactly :attr:`arity` components.
+
+        Duplicate inserts are idempotent for membership but implementations
+        may count them in prefix counters if the source relation is a bag;
+        all generators in this repository produce sets, and the join
+        algorithms assume set semantics.
+        """
+
+    @abc.abstractmethod
+    def contains(self, row: tuple) -> bool:
+        """Point lookup: is the exact tuple present?"""
+
+    def prefix_lookup(self, prefix: tuple) -> Iterator[tuple]:
+        """Enumerate stored tuples whose first ``len(prefix)`` components equal ``prefix``.
+
+        The order of enumeration is implementation-defined.  ``prefix`` may
+        have any length from 0 (enumerate everything) to :attr:`arity`
+        (point lookup returning zero or one tuple).
+        """
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not support prefix lookups"
+        )
+
+    def count_prefix(self, prefix: tuple) -> int:
+        """Number of stored tuples matching ``prefix`` (see :meth:`prefix_lookup`)."""
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not support prefix counting"
+        )
+
+    def has_prefix(self, prefix: tuple) -> bool:
+        """Does at least one stored tuple match ``prefix``?
+
+        The membership test at the heart of the Generic Join's candidate
+        elimination (Alg. 1 line 15).  The default asks :meth:`prefix_lookup`
+        for a first match; structures with a cheaper existence probe
+        override it.
+        """
+        for _ in self.prefix_lookup(prefix):
+            return True
+        return False
+
+    def iter_next_values(self, prefix: tuple) -> Iterator:
+        """Distinct values of component ``len(prefix)`` among matching tuples.
+
+        The Generic Join's per-attribute candidate enumeration: given the
+        bound prefix, enumerate the possible next attribute values.  The
+        default projects and deduplicates :meth:`prefix_lookup`; trie-like
+        structures override with a direct child walk.
+        """
+        position = len(prefix)
+        if position >= self.arity:
+            raise SchemaError(
+                f"no component after a length-{position} prefix in an "
+                f"arity-{self.arity} index"
+            )
+        seen = set()
+        for row in self.prefix_lookup(prefix):
+            value = row[position]
+            if value not in seen:
+                seen.add(value)
+                yield value
+
+    # ------------------------------------------------------------------
+    # Bulk operations and bookkeeping
+    # ------------------------------------------------------------------
+    def build(self, rows: Iterable[tuple]) -> None:
+        """Build the index by inserting every row (the paper's build phase)."""
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        """Number of distinct tuples stored."""
+        return self._size
+
+    def __contains__(self, row: object) -> bool:
+        return isinstance(row, tuple) and self.contains(row)
+
+    def memory_usage(self) -> int:
+        """Estimated resident bytes of the structure (Fig 18).
+
+        Implementations report the bytes their *design* would occupy in a
+        native implementation (array slots, node headers, pointers at 8 B),
+        not Python object overhead — the quantity the paper plots.
+        """
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not report memory usage"
+        )
+
+    # ------------------------------------------------------------------
+    # Validation helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _check_row(self, row: tuple) -> tuple:
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"{type(self).__name__}(arity={self.arity}) got tuple of "
+                f"length {len(row)}: {row!r}"
+            )
+        return row
+
+    def _check_prefix(self, prefix: tuple) -> tuple:
+        if len(prefix) > self.arity:
+            raise SchemaError(
+                f"prefix of length {len(prefix)} longer than index arity {self.arity}"
+            )
+        return prefix
+
+
+    def cursor(self) -> "PrefixCursor":
+        """A stateful descent cursor over the index's prefix hierarchy.
+
+        This is the probe interface the Generic Join actually drives: it
+        binds one attribute at a time and needs O(1)-ish *incremental*
+        steps (descend into a child, back up) rather than root-to-leaf
+        re-probes per binding — the cost model behind the paper's Alg. 3.
+        The default wraps the index's prefix operations; hierarchical
+        structures override with a native cursor.
+        """
+        if not self.SUPPORTS_PREFIX:
+            raise UnsupportedOperationError(
+                f"{type(self).__name__} does not support prefix descent"
+            )
+        return FallbackCursor(self)
+
+
+class PrefixCursor(abc.ABC):
+    """Incremental descent through an index's prefix hierarchy.
+
+    A cursor sits at a *node*: the set of stored tuples matching the
+    component values bound so far (the root matches everything).  The
+    Generic Join drives exactly four operations:
+
+    * :meth:`try_descend` — bind the next component to a value; returns
+      whether the subtree is (apparently) non-empty.  Implementations may
+      report rare false positives at inner depths (Sonic's patch
+      ambiguity, §3.3); they must be exact at the final depth, where the
+      stored payload is available for verification.
+    * :meth:`ascend` — undo the most recent successful descend.
+    * :meth:`child_values` — the distinct candidate values for the next
+      component (may include the same rare false positives; never
+      duplicates).
+    * :meth:`count` — (possibly approximate) number of tuples below the
+      current node; advisory, used for seed selection only.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def try_descend(self, value) -> bool:
+        """Bind the next component to ``value``; True if non-empty."""
+
+    @abc.abstractmethod
+    def ascend(self) -> None:
+        """Pop the most recent binding."""
+
+    @abc.abstractmethod
+    def child_values(self):
+        """Iterator over distinct next-component candidates."""
+
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Advisory size of the current subtree."""
+
+    @property
+    @abc.abstractmethod
+    def depth(self) -> int:
+        """Number of components currently bound."""
+
+
+class FallbackCursor(PrefixCursor):
+    """Cursor over any prefix-capable index's whole-prefix operations.
+
+    Correct for every :class:`TupleIndex`; each step re-probes from the
+    root (O(depth) per step), which is what structures without a native
+    cursor can offer.
+    """
+
+    __slots__ = ("_index", "_prefix")
+
+    def __init__(self, index: TupleIndex):
+        self._index = index
+        self._prefix: list = []
+
+    def try_descend(self, value) -> bool:
+        self._prefix.append(value)
+        if self._index.has_prefix(tuple(self._prefix)):
+            return True
+        self._prefix.pop()
+        return False
+
+    def ascend(self) -> None:
+        self._prefix.pop()
+
+    def child_values(self):
+        return self._index.iter_next_values(tuple(self._prefix))
+
+    def count(self) -> int:
+        return self._index.count_prefix(tuple(self._prefix))
+
+    @property
+    def depth(self) -> int:
+        return len(self._prefix)
+
+
+class PointIndex(TupleIndex):
+    """Convenience base for point-lookup-only structures (hash set group)."""
+
+    SUPPORTS_PREFIX: ClassVar[bool] = False

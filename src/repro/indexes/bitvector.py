@@ -1,0 +1,141 @@
+"""Rank/select bitvectors — the substrate of SuRF's LOUDS encoding.
+
+A succinct trie (Zhang et al., SIGMOD'18) navigates entirely through two
+primitives over bit arrays:
+
+* ``rank1(pos)``   — number of set bits in positions ``[0, pos)``;
+* ``select1(k)``   — position of the ``k``-th set bit (1-indexed).
+
+We store bits packed into 64-bit words (Python ints) with a cumulative
+popcount per word, giving O(1) rank (one table load plus one masked
+popcount) and O(log n) select (binary search over the cumulative table,
+then an in-word scan).  The real SuRF uses sampled selects for O(1); the
+binary search preserves the access pattern at Python-appropriate
+complexity — this is precisely the "succinct bitwise index, painfully slow
+in Python" trade the calibration notes anticipate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << 64) - 1
+
+
+class BitVectorBuilder:
+    """Append-only bit accumulator; :meth:`freeze` yields a queryable vector."""
+
+    def __init__(self):
+        self._words: list[int] = []
+        self._length = 0
+
+    def append(self, bit: bool) -> None:
+        """Append one bit."""
+        word_index, offset = divmod(self._length, _WORD_BITS)
+        if word_index == len(self._words):
+            self._words.append(0)
+        if bit:
+            self._words[word_index] |= 1 << offset
+        self._length += 1
+
+    def extend(self, bits: Iterable[bool]) -> None:
+        """Append every bit of ``bits``."""
+        for bit in bits:
+            self.append(bit)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def freeze(self) -> "BitVector":
+        """Seal the accumulated bits into a queryable :class:`BitVector`."""
+        return BitVector(self._words, self._length)
+
+
+class BitVector:
+    """Immutable bitvector with O(1) rank and O(log n) select."""
+
+    __slots__ = ("_words", "_length", "_cumulative", "_ones")
+
+    def __init__(self, words: list[int], length: int):
+        self._words = words
+        self._length = length
+        cumulative = [0]
+        running = 0
+        for word in words:
+            running += word.bit_count()
+            cumulative.append(running)
+        self._cumulative = cumulative
+        self._ones = running
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[bool]) -> "BitVector":
+        builder = BitVectorBuilder()
+        builder.extend(bits)
+        return builder.freeze()
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, position: int) -> bool:
+        if not 0 <= position < self._length:
+            raise IndexError(f"bit {position} out of range [0, {self._length})")
+        word_index, offset = divmod(position, _WORD_BITS)
+        return bool((self._words[word_index] >> offset) & 1)
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._ones
+
+    def rank1(self, position: int) -> int:
+        """Set bits in ``[0, position)``; ``position`` may equal ``len(self)``."""
+        if position <= 0:
+            return 0
+        if position > self._length:
+            position = self._length
+        word_index, offset = divmod(position, _WORD_BITS)
+        partial = 0
+        if offset:
+            partial = (self._words[word_index] & ((1 << offset) - 1)).bit_count()
+        return self._cumulative[word_index] + partial
+
+    def rank0(self, position: int) -> int:
+        """Clear bits in ``[0, position)``."""
+        position = min(max(position, 0), self._length)
+        return position - self.rank1(position)
+
+    def select1(self, k: int) -> int:
+        """Position of the ``k``-th set bit, 1-indexed; raises on overflow."""
+        if not 1 <= k <= self._ones:
+            raise IndexError(f"select1({k}) with only {self._ones} set bits")
+        word_index = bisect.bisect_left(self._cumulative, k) - 1
+        remaining = k - self._cumulative[word_index]
+        word = self._words[word_index]
+        position = word_index * _WORD_BITS
+        while True:
+            if word & 1:
+                remaining -= 1
+                if remaining == 0:
+                    return position
+            word >>= 1
+            position += 1
+
+    def select0(self, k: int) -> int:
+        """Position of the ``k``-th clear bit, 1-indexed."""
+        zeros = self._length - self._ones
+        if not 1 <= k <= zeros:
+            raise IndexError(f"select0({k}) with only {zeros} clear bits")
+        low, high = 0, self._length - 1
+        while low < high:
+            middle = (low + high) // 2
+            if self.rank0(middle + 1) < k:
+                low = middle + 1
+            else:
+                high = middle
+        return low
+
+    def memory_usage(self) -> int:
+        """Design footprint: packed bits plus the rank directory."""
+        return len(self._words) * 8 + len(self._cumulative) * 4

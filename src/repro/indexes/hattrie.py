@@ -1,0 +1,216 @@
+"""HAT-trie (Askitis & Sinha '07 — the paper's "Tessil HAT-Trie" baseline).
+
+A HAT-trie is a *burst trie* tuned for caches: the upper part of the
+structure is a conventional radix trie, but subtrees holding few keys are
+collapsed into flat hash buckets ("array hash tables") storing raw key
+suffixes.  A bucket that grows past a burst threshold *bursts*: it is
+replaced by a trie node whose children are new buckets, partitioned by the
+suffixes' first byte.
+
+The cache-conscious payoff is that most of the key bytes live in dense
+buckets rather than in pointer-linked trie nodes; the cost — which the
+paper's evaluation repeatedly observes — is that bucket probes must compare
+whole suffixes, so lookups do "a large number of key comparisons" (§5.6).
+
+Tuples are byte-encoded with the order-preserving codec so attribute
+prefixes align with byte prefixes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import ClassVar
+
+from repro.errors import ConfigurationError
+from repro.indexes.base import TupleIndex
+from repro.indexes.keycodec import encode_tuple
+
+_DEFAULT_BURST = 64
+
+
+class _Bucket:
+    """A flat array-hash bucket mapping key suffixes to rows."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries: dict[bytes, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class _TrieNode:
+    """A pure trie node: byte → child (bucket or node), plus terminal row."""
+
+    __slots__ = ("children", "terminal_row")
+
+    def __init__(self):
+        self.children: dict[int, _TrieNode | _Bucket] = {}
+        self.terminal_row: tuple | None = None
+
+
+class HatTrie(TupleIndex):
+    """Burst trie over byte-encoded tuples with hash-array leaf buckets."""
+
+    NAME: ClassVar[str] = "hattrie"
+
+    def __init__(self, arity: int, burst_threshold: int = _DEFAULT_BURST):
+        super().__init__(arity)
+        if burst_threshold < 2:
+            raise ConfigurationError(
+                f"burst threshold must be >= 2, got {burst_threshold}"
+            )
+        self._burst = burst_threshold
+        self._root: _TrieNode | _Bucket = _Bucket()
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, row: tuple) -> None:
+        row = self._check_row(row)
+        key = encode_tuple(row)
+        node = self._root
+        depth = 0
+        parent: _TrieNode | None = None
+        parent_byte = -1
+        while isinstance(node, _TrieNode):
+            if depth == len(key):
+                if node.terminal_row is None:
+                    node.terminal_row = row
+                    self._size += 1
+                return
+            byte = key[depth]
+            child = node.children.get(byte)
+            if child is None:
+                child = _Bucket()
+                node.children[byte] = child
+            parent, parent_byte = node, byte
+            node = child
+            depth += 1
+
+        suffix = key[depth:]
+        if suffix in node.entries:
+            return  # duplicate
+        node.entries[suffix] = row
+        self._size += 1
+        if len(node) > self._burst:
+            burst_node = self._burst_bucket(node)
+            if parent is None:
+                self._root = burst_node
+            else:
+                parent.children[parent_byte] = burst_node
+
+    def _burst_bucket(self, bucket: _Bucket) -> _TrieNode:
+        """Replace an over-full bucket by a trie node over its first byte."""
+        node = _TrieNode()
+        for suffix, row in bucket.entries.items():
+            if not suffix:
+                node.terminal_row = row
+                continue
+            child = node.children.get(suffix[0])
+            if child is None:
+                child = _Bucket()
+                node.children[suffix[0]] = child
+            child.entries[suffix[1:]] = row
+        return node
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def contains(self, row: tuple) -> bool:
+        row = self._check_row(row)
+        key = encode_tuple(row)
+        node = self._root
+        depth = 0
+        while isinstance(node, _TrieNode):
+            if depth == len(key):
+                return node.terminal_row is not None
+            node = node.children.get(key[depth])
+            if node is None:
+                return False
+            depth += 1
+        return key[depth:] in node.entries
+
+    def prefix_lookup(self, prefix: tuple) -> Iterator[tuple]:
+        prefix = self._check_prefix(tuple(prefix))
+        encoded = encode_tuple(prefix)
+        node = self._root
+        depth = 0
+        while isinstance(node, _TrieNode) and depth < len(encoded):
+            node = node.children.get(encoded[depth])
+            if node is None:
+                return
+            depth += 1
+        if isinstance(node, _Bucket):
+            remainder = encoded[depth:]
+            for suffix, row in node.entries.items():
+                if suffix.startswith(remainder):
+                    yield row
+            return
+        yield from self._iter_subtree(node)
+
+    def count_prefix(self, prefix: tuple) -> int:
+        count = 0
+        for _ in self.prefix_lookup(prefix):
+            count += 1
+        return count
+
+    def _iter_subtree(self, node: _TrieNode) -> Iterator[tuple]:
+        stack: list[_TrieNode | _Bucket] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, _Bucket):
+                yield from current.entries.values()
+                continue
+            if current.terminal_row is not None:
+                yield current.terminal_row
+            stack.extend(current.children.values())
+
+    def __iter__(self) -> Iterator[tuple]:
+        if isinstance(self._root, _Bucket):
+            return iter(self._root.entries.values())
+        return self._iter_subtree(self._root)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def bucket_count(self) -> int:
+        """Number of leaf buckets (structure tests check bursting)."""
+        count = 0
+        stack: list[_TrieNode | _Bucket] = [self._root]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, _Bucket):
+                count += 1
+            else:
+                stack.extend(current.children.values())
+        return count
+
+    def trie_depth(self) -> int:
+        """Maximum trie-node depth above any bucket."""
+        best = 0
+        stack: list[tuple[_TrieNode | _Bucket, int]] = [(self._root, 0)]
+        while stack:
+            current, depth = stack.pop()
+            if isinstance(current, _Bucket):
+                best = max(best, depth)
+            else:
+                for child in current.children.values():
+                    stack.append((child, depth + 1))
+        return best
+
+    def memory_usage(self) -> int:
+        """Design footprint: trie nodes at pointer granularity + bucket bytes."""
+        total = 0
+        stack: list[_TrieNode | _Bucket] = [self._root]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, _Bucket):
+                total += 16  # bucket header
+                for suffix in current.entries:
+                    total += len(suffix) + 8 * self.arity
+                continue
+            total += 16 + len(current.children) * (1 + 8)
+            stack.extend(current.children.values())
+        return total

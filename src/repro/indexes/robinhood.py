@@ -1,0 +1,199 @@
+"""Robin Hood open-addressing map (the paper's "Tessil Robin Hood Fast Hash Map").
+
+Robin Hood hashing [Celis et al., FOCS'85; §6 of the paper] keeps probe
+chains short and *uniform*: on insertion, if the incoming entry has probed
+further from its home slot than the entry currently occupying a slot (its
+"probe sequence length", PSL), the two swap — the incoming rich entry
+"steals from the poor".  Deletion uses backward shifting instead of
+tombstones, so lookups can terminate as soon as they see an entry whose PSL
+is smaller than the probe distance.
+
+Used in the study as the second point-lookup-only baseline; also reused as
+the per-level hash table of the hierarchical hash map.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any, ClassVar
+
+from repro.core.hashing import hash_tuple
+from repro.indexes.base import PointIndex
+
+_MAX_LOAD = 0.8
+
+
+class RobinHoodMap:
+    """A generic Robin Hood hash map from hashable keys to values.
+
+    This is the reusable engine; :class:`RobinHoodTupleIndex` adapts it to
+    the :class:`~repro.indexes.base.TupleIndex` protocol and the
+    hierarchical hash map stacks instances of it per level.
+    """
+
+    __slots__ = ("_capacity", "_keys", "_values", "_psl", "_size")
+
+    def __init__(self, initial_capacity: int = 8):
+        capacity = 8
+        while capacity < initial_capacity:
+            capacity <<= 1
+        self._capacity = capacity
+        self._keys: list[Any] = [None] * capacity
+        self._values: list[Any] = [None] * capacity
+        self._psl = [-1] * capacity  # -1 marks an empty slot
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: object) -> bool:
+        return self._find(key) >= 0
+
+    def get(self, key, default=None):
+        """Value for ``key``, or ``default`` when absent."""
+        slot = self._find(key)
+        return self._values[slot] if slot >= 0 else default
+
+    def __getitem__(self, key):
+        slot = self._find(key)
+        if slot < 0:
+            raise KeyError(key)
+        return self._values[slot]
+
+    def put(self, key, value) -> None:
+        """Insert or overwrite ``key``."""
+        if (self._size + 1) > self._capacity * _MAX_LOAD:
+            self._grow()
+        self._insert_displacing(key, value)
+
+    def setdefault(self, key, default):
+        """Return ``key``'s value, inserting ``default`` first if absent."""
+        slot = self._find(key)
+        if slot >= 0:
+            return self._values[slot]
+        self.put(key, default)
+        return default
+
+    def delete(self, key) -> bool:
+        """Remove ``key`` with backward-shift deletion; True if removed."""
+        slot = self._find(key)
+        if slot < 0:
+            return False
+        mask = self._capacity - 1
+        current = slot
+        while True:
+            nxt = (current + 1) & mask
+            if self._psl[nxt] <= 0:  # empty, or already in its home slot
+                self._keys[current] = None
+                self._values[current] = None
+                self._psl[current] = -1
+                break
+            self._keys[current] = self._keys[nxt]
+            self._values[current] = self._values[nxt]
+            self._psl[current] = self._psl[nxt] - 1
+            current = nxt
+        self._size -= 1
+        return True
+
+    def items(self) -> Iterator[tuple]:
+        """All (key, value) pairs, in slot order."""
+        for key, value, psl in zip(self._keys, self._values, self._psl):
+            if psl >= 0:
+                yield key, value
+
+    def keys(self) -> Iterator:
+        """All keys, in slot order."""
+        for key, _, psl in zip(self._keys, self._values, self._psl):
+            if psl >= 0:
+                yield key
+
+    def values(self) -> Iterator:
+        """All values, in slot order."""
+        for _, value, psl in zip(self._keys, self._values, self._psl):
+            if psl >= 0:
+                yield value
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def max_psl(self) -> int:
+        """Longest probe chain currently in the table (tested invariantly)."""
+        return max((p for p in self._psl if p >= 0), default=0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hash(key) -> int:
+        if isinstance(key, tuple):
+            return hash_tuple(key)
+        return hash_tuple((key,))
+
+    def _find(self, key) -> int:
+        mask = self._capacity - 1
+        slot = self._hash(key) & mask
+        distance = 0
+        while True:
+            psl = self._psl[slot]
+            if psl < 0 or psl < distance:
+                return -1  # Robin Hood early termination
+            if self._keys[slot] == key:
+                return slot
+            slot = (slot + 1) & mask
+            distance += 1
+
+    def _insert_displacing(self, key, value) -> None:
+        mask = self._capacity - 1
+        slot = self._hash(key) & mask
+        psl = 0
+        while True:
+            existing_psl = self._psl[slot]
+            if existing_psl < 0:
+                self._keys[slot] = key
+                self._values[slot] = value
+                self._psl[slot] = psl
+                self._size += 1
+                return
+            if self._keys[slot] == key:
+                self._values[slot] = value
+                return
+            if existing_psl < psl:  # steal from the rich
+                key, self._keys[slot] = self._keys[slot], key
+                value, self._values[slot] = self._values[slot], value
+                psl, self._psl[slot] = existing_psl, psl
+            slot = (slot + 1) & mask
+            psl += 1
+
+    def _grow(self) -> None:
+        entries = list(self.items())
+        self._capacity *= 2
+        self._keys = [None] * self._capacity
+        self._values = [None] * self._capacity
+        self._psl = [-1] * self._capacity
+        self._size = 0
+        for key, value in entries:
+            self._insert_displacing(key, value)
+
+
+class RobinHoodTupleIndex(PointIndex):
+    """Tuple index over :class:`RobinHoodMap` (point lookups only)."""
+
+    NAME: ClassVar[str] = "robinhood"
+
+    def __init__(self, arity: int, initial_capacity: int = 8):
+        super().__init__(arity)
+        self._map = RobinHoodMap(initial_capacity)
+
+    def insert(self, row: tuple) -> None:
+        row = self._check_row(row)
+        before = len(self._map)
+        self._map.put(row, True)
+        self._size += len(self._map) - before
+
+    def contains(self, row: tuple) -> bool:
+        return self._check_row(row) in self._map
+
+    def memory_usage(self) -> int:
+        """Design footprint: key words + 2 B PSL counter per slot."""
+        return self._map.capacity * (8 * self.arity + 2)

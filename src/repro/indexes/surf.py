@@ -1,0 +1,259 @@
+"""SuRF — the Fast Succinct Trie (Zhang et al., SIGMOD'18).
+
+SuRF encodes a trie in LOUDS-Sparse form: three parallel, bit/byte-level
+arrays in level order —
+
+* ``labels``    — one byte per trie edge;
+* ``has_child`` — one bit per edge: 1 if the edge leads to an inner node,
+  0 if the key terminates (a leaf edge);
+* ``louds``     — one bit per edge: 1 iff the edge is the *first* edge of
+  its node (the node-boundary marker).
+
+Navigation needs only rank/select over those bitvectors (see
+:mod:`repro.indexes.bitvector`): for an edge at position ``p``,
+
+* child node's first edge = ``select1(louds, rank1(has_child, p + 1) + 1)``,
+* leaf-value slot          = ``p - rank1(has_child, p)``.
+
+Like the real SuRF, keys are **truncated** at the shallowest depth that
+uniquely distinguishes them, and each leaf stores a configurable suffix:
+``"none"`` (pure prefix filter), ``"hash"`` (a few hash bits), or
+``"real"`` (the next key bytes).  Point lookup is therefore *one-sided
+approximate*: no false negatives, tunable false positives — exactly the
+filter semantics of the original.  And as in the paper's study (§5.4), the
+structure is excluded from exact prefix operations: it advertises
+``SUPPORTS_PREFIX = False`` and offers only :meth:`approx_count_prefix`.
+
+SuRF is a static structure; inserts stage rows and the succinct arrays are
+(re)built lazily on first query.  The paper's build-time measurements
+include exactly this construction cost, so :meth:`build` finalizes eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.hashing import hash_key
+from repro.errors import ConfigurationError
+from repro.indexes.base import PointIndex
+from repro.indexes.bitvector import BitVector, BitVectorBuilder
+from repro.indexes.keycodec import encode_tuple
+
+_SUFFIX_MODES = ("none", "hash", "real")
+
+
+class SuccinctRangeFilter(PointIndex):
+    """LOUDS-Sparse succinct trie with truncated keys and leaf suffixes."""
+
+    NAME: ClassVar[str] = "surf"
+
+    def __init__(self, arity: int, suffix_mode: str = "hash", suffix_bytes: int = 1):
+        super().__init__(arity)
+        if suffix_mode not in _SUFFIX_MODES:
+            raise ConfigurationError(
+                f"suffix_mode must be one of {_SUFFIX_MODES}, got {suffix_mode!r}"
+            )
+        self._suffix_mode = suffix_mode
+        self._suffix_bytes = suffix_bytes
+        self._pending: list[bytes] = []
+        self._frozen = False
+        self._labels = b""
+        self._has_child: BitVector | None = None
+        self._louds: BitVector | None = None
+        self._suffixes: list[bytes] = []
+        self._leaf_count = 0
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def insert(self, row: tuple) -> None:
+        row = self._check_row(row)
+        self._pending.append(encode_tuple(row))
+        self._frozen = False
+        self._size += 1  # distinct-ness resolved at freeze; see _freeze
+
+    def build(self, rows) -> None:
+        super().build(rows)
+        self._freeze()
+
+    def _freeze(self) -> None:
+        """Construct the LOUDS-Sparse arrays from the staged keys."""
+        keys = sorted(set(self._pending))
+        self._pending = keys  # keep canonical staging for future rebuilds
+        self._size = len(keys)
+        labels = bytearray()
+        has_child = BitVectorBuilder()
+        louds = BitVectorBuilder()
+        suffixes: list[bytes] = []
+
+        # Level-order construction over groups of keys sharing a prefix.
+        # Each work item is (depth, key_slice); a slice of one key is a
+        # leaf edge (truncation point), larger slices become inner edges.
+        from collections import deque
+
+        queue: deque[tuple[int, int, int]] = deque()
+        if keys:
+            queue.append((0, 0, len(keys)))
+        while queue:
+            depth, start, stop = queue.popleft()
+            # partition keys[start:stop] by the byte at `depth`
+            index = start
+            first_edge = True
+            while index < stop:
+                byte = keys[index][depth]
+                run_end = index
+                while run_end < stop and keys[run_end][depth] == byte:
+                    run_end += 1
+                labels.append(byte)
+                louds.append(first_edge)
+                first_edge = False
+                is_single = (run_end - index == 1)
+                key_ends_here = (len(keys[index]) == depth + 1)
+                if is_single or key_ends_here:
+                    # Truncate: a unique key (or fully-consumed key) ends.
+                    # Full keys are fixed-arity encodings, so key_ends_here
+                    # implies the whole group is one identical key.
+                    has_child.append(False)
+                    suffixes.append(self._make_suffix(keys[index], depth + 1))
+                else:
+                    has_child.append(True)
+                    queue.append((depth + 1, index, run_end))
+                index = run_end
+
+        self._labels = bytes(labels)
+        self._has_child = has_child.freeze()
+        self._louds = louds.freeze()
+        self._suffixes = suffixes
+        self._leaf_count = len(suffixes)
+        self._frozen = True
+
+    def _make_suffix(self, key: bytes, depth: int) -> bytes:
+        if self._suffix_mode == "none":
+            return b""
+        if self._suffix_mode == "hash":
+            return (hash_key(key) & ((1 << (8 * self._suffix_bytes)) - 1)).to_bytes(
+                self._suffix_bytes, "little")
+        return key[depth:depth + self._suffix_bytes]
+
+    def _ensure_frozen(self) -> None:
+        if not self._frozen:
+            self._freeze()
+
+    # ------------------------------------------------------------------
+    # Navigation primitives (the SuRF paper's formulas)
+    # ------------------------------------------------------------------
+    def _node_range(self, node: int) -> tuple[int, int]:
+        """Edge positions [start, stop) of node number ``node`` (1-indexed)."""
+        start = self._louds.select1(node)
+        if node + 1 <= self._louds.ones:
+            stop = self._louds.select1(node + 1)
+        else:
+            stop = len(self._labels)
+        return start, stop
+
+    def _child_node(self, edge_position: int) -> int:
+        """Node number of the child reached through inner edge ``edge_position``."""
+        return self._has_child.rank1(edge_position + 1) + 1
+
+    def _leaf_slot(self, edge_position: int) -> int:
+        """Suffix-array slot of leaf edge ``edge_position``."""
+        return edge_position - self._has_child.rank1(edge_position)
+
+    def _find_edge(self, node: int, byte: int) -> int:
+        """Edge position of ``byte`` within ``node``; -1 if absent."""
+        start, stop = self._node_range(node)
+        # labels within a node are sorted: binary search
+        low, high = start, stop
+        while low < high:
+            middle = (low + high) // 2
+            if self._labels[middle] < byte:
+                low = middle + 1
+            else:
+                high = middle
+        if low < stop and self._labels[low] == byte:
+            return low
+        return -1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, row: tuple) -> bool:
+        """Filter semantics: False is definite, True may be a false positive."""
+        row = self._check_row(row)
+        self._ensure_frozen()
+        if self._leaf_count == 0:
+            return False
+        key = encode_tuple(row)
+        node = 1
+        depth = 0
+        while depth < len(key):
+            edge = self._find_edge(node, key[depth])
+            if edge < 0:
+                return False
+            if not self._has_child[edge]:
+                return self._check_suffix(edge, key, depth + 1)
+            node = self._child_node(edge)
+            depth += 1
+        return False  # ran out of key inside inner levels: impossible for full keys
+
+    def _check_suffix(self, edge: int, key: bytes, depth: int) -> bool:
+        stored = self._suffixes[self._leaf_slot(edge)]
+        if self._suffix_mode == "none":
+            return True
+        if self._suffix_mode == "hash":
+            expected = (hash_key(key) & ((1 << (8 * self._suffix_bytes)) - 1)).to_bytes(
+                self._suffix_bytes, "little")
+            return stored == expected
+        return stored == key[depth:depth + self._suffix_bytes]
+
+    def approx_count_prefix(self, prefix: tuple) -> int:
+        """Approximate count of keys below ``prefix`` (leaf count in subtree).
+
+        Truncation makes this a lower bound that is exact whenever no two
+        keys were truncated at the same edge — matching the paper's note
+        that SuRF "only provides approximate count-prefix" (§5.4).
+        """
+        prefix = self._check_prefix(tuple(prefix))
+        self._ensure_frozen()
+        if self._leaf_count == 0:
+            return 0
+        encoded = encode_tuple(prefix)
+        node = 1
+        for depth in range(len(encoded)):
+            edge = self._find_edge(node, encoded[depth])
+            if edge < 0:
+                return 0
+            if not self._has_child[edge]:
+                return 1  # truncated: at least one key below
+            node = self._child_node(edge)
+        return self._count_leaves(node)
+
+    def _count_leaves(self, node: int) -> int:
+        total = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            start, stop = self._node_range(current)
+            for edge in range(start, stop):
+                if self._has_child[edge]:
+                    stack.append(self._child_node(edge))
+                else:
+                    total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def leaf_count(self) -> int:
+        self._ensure_frozen()
+        return self._leaf_count
+
+    def memory_usage(self) -> int:
+        """Design footprint: labels + 2 bitvectors + suffixes (succinct!)."""
+        self._ensure_frozen()
+        total = len(self._labels)
+        total += self._has_child.memory_usage()
+        total += self._louds.memory_usage()
+        total += sum(len(s) for s in self._suffixes)
+        return total

@@ -1,0 +1,39 @@
+"""Join algorithms: Generic Join, binary pipeline, Hash-Trie Join, LFTJ."""
+
+from repro.joins.binary import BinaryHashJoin
+from repro.joins.executor import (
+    ALGORITHMS,
+    build_adapters,
+    join,
+    resolve_relations,
+    triangle_count,
+)
+from repro.joins.generic_join import GenericJoin
+from repro.joins.hashtrie_join import HashTrieJoin
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.joins.recursive import RecursiveJoin
+from repro.joins.results import (
+    CountingSink,
+    JoinMetrics,
+    JoinResult,
+    MaterializingSink,
+    ResultSink,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BinaryHashJoin",
+    "CountingSink",
+    "GenericJoin",
+    "HashTrieJoin",
+    "JoinMetrics",
+    "JoinResult",
+    "LeapfrogTrieJoin",
+    "MaterializingSink",
+    "RecursiveJoin",
+    "ResultSink",
+    "build_adapters",
+    "join",
+    "resolve_relations",
+    "triangle_count",
+]

@@ -1,0 +1,171 @@
+"""The top-level join API — the runtime analogue of the paper's Listing 1.
+
+The C++ framework pairs relations with index adapters and instantiates a
+fully-inlined join at compile time; :func:`join` does the same wiring at
+runtime: resolve each atom's relation, derive the total order, build one
+index per atom (timed — ad-hoc index build is part of every WCOJ run,
+§5.15), and execute the chosen algorithm.
+
+>>> from repro import join, Relation, parse_query
+>>> edges = Relation("E", ("src", "dst"), [(0, 1), (1, 2), (2, 0)])
+>>> q = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+>>> join(q, {"E1": edges, "E2": edges, "E3": edges}, index="sonic").count
+3
+
+Algorithms: ``"generic"`` (Generic Join over any registered index),
+``"binary"`` (pipelined hash joins), ``"hashtrie"`` (Umbra-style),
+``"leapfrog"`` (LFTJ), or ``"auto"`` (the hybrid optimizer chooses
+binary vs generic, §6/[22]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.adapter import IndexAdapter
+from repro.core.config import SonicConfig
+from repro.errors import ConfigurationError, QueryError
+from repro.indexes.registry import make_index
+from repro.joins.binary import BinaryHashJoin
+from repro.joins.generic_join import GenericJoin
+from repro.joins.hashtrie_join import HashTrieJoin
+from repro.joins.leapfrog import LeapfrogTrieJoin
+from repro.joins.recursive import RecursiveJoin
+from repro.joins.results import JoinResult, Stopwatch
+from repro.planner.cardinality import Statistics
+from repro.planner.optimizer import HybridOptimizer
+from repro.planner.qptree import connectivity_order
+from repro.planner.query import JoinQuery, parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog", "recursive", "auto")
+
+
+def resolve_relations(query: JoinQuery,
+                      source: "Catalog | Mapping[str, Relation]",
+                      ) -> dict[str, Relation]:
+    """Map each atom alias to its relation, viewed through query attributes.
+
+    A mapping may be keyed by alias or by relation name; a catalog is
+    looked up by the atom's relation name (aliases share the physical
+    relation, the usual self-join case).  Each resolved relation is a
+    zero-copy :meth:`~repro.storage.relation.Relation.renamed` view whose
+    schema carries the atom's query attributes — the form every join
+    driver expects.
+    """
+    resolved: dict[str, Relation] = {}
+    for atom in query.atoms:
+        if isinstance(source, Catalog):
+            relation = source.get(atom.relation)
+        elif atom.alias in source:
+            relation = source[atom.alias]
+        elif atom.relation in source:
+            relation = source[atom.relation]
+        else:
+            raise QueryError(
+                f"no relation for atom {atom} (keys: {sorted(source)})"
+            )
+        if relation.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom} has arity {atom.arity} but relation "
+                f"{relation.name!r} has arity {relation.arity}"
+            )
+        resolved[atom.alias] = relation.renamed(atom.attributes, name=atom.alias)
+    return resolved
+
+
+def build_adapters(query: JoinQuery, relations: Mapping[str, Relation],
+                   order: Sequence[str], index: str = "sonic",
+                   sonic_overallocation: float = 2.0,
+                   sonic_bucket_size: int = 8,
+                   index_options: Mapping[str, object] | None = None,
+                   ) -> dict[str, IndexAdapter]:
+    """One freshly-built index adapter per atom (the WCOJ build phase)."""
+    adapters: dict[str, IndexAdapter] = {}
+    options = dict(index_options or {})
+    for atom in query.atoms:
+        relation = relations[atom.alias]
+        if index == "sonic":
+            config = SonicConfig.for_tuples(
+                max(len(relation), 1),
+                bucket_size=sonic_bucket_size,
+                overallocation=sonic_overallocation,
+            )
+            idx = make_index("sonic", relation.arity, config=config, **options)
+        else:
+            idx = make_index(index, relation.arity, **options)
+        adapter = IndexAdapter(relation, idx, order)
+        adapter.build()
+        adapters[atom.alias] = adapter
+    return adapters
+
+
+def join(query: "JoinQuery | str",
+         source: "Catalog | Mapping[str, Relation]",
+         algorithm: str = "generic",
+         index: str = "sonic",
+         order: Sequence[str] | None = None,
+         materialize: bool = False,
+         dynamic_seed: bool = True,
+         binary_order: Sequence[str] | None = None,
+         **index_kwargs) -> JoinResult:
+    """Plan, build and execute a join query; returns a :class:`JoinResult`.
+
+    Parameters mirror the paper's experimental axes: ``algorithm`` picks
+    the join driver, ``index`` the supporting structure for the Generic
+    Join, ``order`` overrides the total attribute order (the default is
+    the connectivity-aware heuristic of
+    :func:`repro.planner.qptree.connectivity_order`; pass
+    ``repro.planner.total_order(query)`` for the paper's raw QP-tree
+    order), ``dynamic_seed`` ablates the AGM-guided anchor selection,
+    ``binary_order`` pins the binary pipeline's join order (Fig 1's
+    order-sensitivity axis).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    relations = resolve_relations(query, source)
+
+    if algorithm == "auto":
+        stats = Statistics.collect(relations.values())
+        choice = HybridOptimizer().choose(query, stats)
+        algorithm = "binary" if choice.algorithm == "binary" else "generic"
+
+    if algorithm == "binary":
+        driver = BinaryHashJoin(query, relations, order=binary_order)
+        result = driver.run(materialize=materialize)
+        return result
+
+    total = tuple(order) if order else connectivity_order(query)
+
+    if algorithm == "hashtrie":
+        driver = HashTrieJoin(query, relations, order=total, **index_kwargs)
+        return driver.run(materialize=materialize)
+    if algorithm == "leapfrog":
+        driver = LeapfrogTrieJoin(query, relations, order=total)
+        return driver.run(materialize=materialize)
+    if algorithm == "recursive":
+        driver = RecursiveJoin(query, relations, order=total)
+        return driver.run(materialize=materialize)
+
+    watch = Stopwatch()
+    adapters = build_adapters(query, relations, total, index=index,
+                              **index_kwargs)
+    build_seconds = watch.lap()
+    driver = GenericJoin(query, adapters, order=total, dynamic_seed=dynamic_seed)
+    driver.metrics.index = index
+    driver.metrics.build_seconds = build_seconds
+    return driver.run(materialize=materialize)
+
+
+def triangle_count(edges: Relation, algorithm: str = "generic",
+                   index: str = "sonic", **kwargs) -> int:
+    """Count directed triangles in an edge relation (the paper's Fig 1 query)."""
+    query = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+    result = join(query, {"E1": edges, "E2": edges, "E3": edges},
+                  algorithm=algorithm, index=index, **kwargs)
+    return result.count

@@ -1,0 +1,176 @@
+"""Join-order optimization and the hybrid binary/WCOJ chooser.
+
+Two planners live here:
+
+* :func:`greedy_join_order` — the binary-join baseline's optimizer: a
+  System-R style greedy chain (smallest estimated intermediate first,
+  avoiding cross products when possible).  Deliberately classical; its
+  failure mode under adversarial data is the paper's Fig 1 motivation.
+* :class:`HybridOptimizer` — Umbra's idea ([22], §6): run cyclic /
+  growth-prone parts of a query with a worst-case optimal join and the
+  rest with binary joins.  Our rendering chooses per-query: if the
+  query's hypergraph is cyclic, or the optimal fractional cover is
+  genuinely fractional (some weight strictly between 0 and 1), WCOJ is
+  selected; for acyclic (α-acyclic, GYO-reducible) queries the binary
+  pipeline wins (Table 1's JOB column shows exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.planner.agm import fractional_cover
+from repro.planner.cardinality import Statistics, estimate_join_size
+from repro.planner.hypergraph import Hypergraph
+from repro.planner.query import JoinQuery
+
+
+def greedy_join_order(query: JoinQuery, stats: Statistics) -> list[str]:
+    """A left-deep join order (atom aliases) by greedy size estimation.
+
+    Starts from the smallest atom; at each step joins the atom whose
+    estimated result with the current intermediate is smallest, preferring
+    connected (non-cross-product) extensions.
+    """
+    remaining = {atom.alias for atom in query.atoms}
+    if not remaining:
+        raise QueryError("cannot order an empty query")
+
+    start = min(remaining, key=stats.cardinality)
+    order = [start]
+    remaining.discard(start)
+    bound_attributes = set(query.attributes_of(start))
+    current_size = float(stats.cardinality(start))
+
+    while remaining:
+        best_alias = None
+        best_size = None
+        best_connected = False
+        for alias in sorted(remaining):
+            attrs = set(query.attributes_of(alias))
+            shared = attrs & bound_attributes
+            connected = bool(shared)
+            size = estimate_join_size(
+                current_size, stats.cardinality(alias),
+                order[-1], alias, shared, stats,
+            )
+            better = (
+                best_alias is None
+                or (connected and not best_connected)
+                or (connected == best_connected and size < best_size)
+            )
+            if better:
+                best_alias, best_size, best_connected = alias, size, connected
+        order.append(best_alias)
+        remaining.discard(best_alias)
+        bound_attributes |= set(query.attributes_of(best_alias))
+        current_size = max(best_size, 1.0)
+    return order
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """GYO reduction: repeatedly remove ear vertices/edges; acyclic iff empty.
+
+    An *ear* is an edge whose vertices are either exclusive to it or all
+    contained in some other single edge.  Acyclic queries are exactly the
+    ones binary join plans handle without blow-up risk (given good orders).
+    """
+    edges = {name: set(attrs) for name, attrs in hypergraph.edges.items()}
+    changed = True
+    while changed and len(edges) > 1:
+        changed = False
+        # remove vertices appearing in only one edge
+        counts: dict[str, int] = {}
+        for attrs in edges.values():
+            for vertex in attrs:
+                counts[vertex] = counts.get(vertex, 0) + 1
+        for attrs in edges.values():
+            lonely = {v for v in attrs if counts[v] == 1}
+            if lonely:
+                attrs -= lonely
+                changed = True
+        # remove edges contained in another edge (or emptied)
+        names = list(edges)
+        for name in names:
+            if name not in edges:
+                continue
+            attrs = edges[name]
+            if not attrs:
+                del edges[name]
+                changed = True
+                continue
+            for other, other_attrs in edges.items():
+                if other != name and attrs <= other_attrs:
+                    del edges[name]
+                    changed = True
+                    break
+    if not edges:
+        return True
+    if len(edges) == 1:
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The hybrid optimizer's decision and its rationale."""
+
+    algorithm: str          # "binary" or "wcoj"
+    reason: str
+    agm_bound: float
+    binary_estimate: float
+
+
+class HybridOptimizer:
+    """Chooses binary vs worst-case optimal execution per query (§6, [22])."""
+
+    def __init__(self, growth_threshold: float = 4.0):
+        #: how much larger the binary plan's worst intermediate estimate
+        #: must be than the AGM bound before WCOJ is preferred for acyclic
+        #: queries (cyclic queries always go to WCOJ)
+        self.growth_threshold = growth_threshold
+
+    def choose(self, query: JoinQuery, stats: Statistics) -> PlanChoice:
+        hypergraph = Hypergraph.from_query(query)
+        cover = fractional_cover(hypergraph, stats.cardinalities())
+        binary_estimate = self._binary_peak_estimate(query, stats)
+
+        if len(query) == 1:
+            return PlanChoice("binary", "single atom: a scan", cover.bound,
+                              binary_estimate)
+        if not is_alpha_acyclic(hypergraph):
+            return PlanChoice(
+                "wcoj",
+                "cyclic hypergraph: binary plans risk intermediate blow-up",
+                cover.bound, binary_estimate,
+            )
+        if binary_estimate > self.growth_threshold * max(cover.bound, 1.0):
+            return PlanChoice(
+                "wcoj",
+                "estimated binary intermediates exceed the AGM bound "
+                f"by more than {self.growth_threshold}x",
+                cover.bound, binary_estimate,
+            )
+        return PlanChoice(
+            "binary",
+            "acyclic query with tame intermediate estimates: "
+            "binary hash joins win on build cost",
+            cover.bound, binary_estimate,
+        )
+
+    def _binary_peak_estimate(self, query: JoinQuery, stats: Statistics) -> float:
+        """Largest estimated intermediate along the greedy binary order."""
+        order = greedy_join_order(query, stats)
+        bound_attributes = set(query.attributes_of(order[0]))
+        size = float(stats.cardinality(order[0]))
+        peak = size
+        for alias in order[1:]:
+            attrs = set(query.attributes_of(alias))
+            shared = attrs & bound_attributes
+            size = estimate_join_size(size, stats.cardinality(alias),
+                                      order[0], alias, shared, stats)
+            size = max(size, 1.0)
+            peak = max(peak, size)
+            bound_attributes |= attrs
+        return peak

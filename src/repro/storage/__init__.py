@@ -1,0 +1,21 @@
+"""Relational substrate: schemas, relations, catalogs, CSV round-tripping."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.csvio import (
+    load_edge_list,
+    load_relation,
+    save_edge_list,
+    save_relation,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+__all__ = [
+    "Catalog",
+    "Relation",
+    "Schema",
+    "load_edge_list",
+    "load_relation",
+    "save_edge_list",
+    "save_relation",
+]

@@ -1,0 +1,60 @@
+"""A minimal catalog: a named collection of relations.
+
+Join queries (:mod:`repro.planner.query`) reference relations by name; the
+catalog is where the executor resolves those names.  It also provides the
+aggregate statistics (per-relation cardinalities) that the AGM-bound
+computation and the binary-join optimizer consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.storage.relation import Relation
+
+
+class Catalog:
+    """Name → :class:`Relation` mapping with light statistics."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation, replace: bool = False) -> None:
+        """Register ``relation`` under its name."""
+        if relation.name in self._relations and not replace:
+            raise SchemaError(f"relation {relation.name!r} already in catalog")
+        self._relations[relation.name] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {name!r} not in catalog (have: {sorted(self._relations)})"
+            ) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def cardinalities(self) -> dict[str, int]:
+        """Relation name → row count, as consumed by the AGM LP."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def total_rows(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())

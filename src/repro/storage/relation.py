@@ -1,0 +1,145 @@
+"""In-memory relations.
+
+A :class:`Relation` is an immutable bag of equal-arity tuples with a
+:class:`~repro.storage.schema.Schema`.  Storage is row-major (a list of
+tuples) with lazily-built column views; at the scales this reproduction
+targets, row-major keeps index builds (which consume whole tuples) simple
+and fast, while the column views serve the workload generators and the
+binary-join build sides.
+
+Relations are the unit every join algorithm in :mod:`repro.joins` consumes;
+the ``Relation`` here plays the role of the paper's ``Relation<IndexAdapter,
+TableSchema, ...>`` template (Listing 1), minus the compile-time machinery:
+the pairing of a relation with an index happens in
+:class:`repro.joins.executor.JoinExecutor`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+
+
+class Relation:
+    """An immutable, named collection of tuples over a schema."""
+
+    __slots__ = ("name", "schema", "_rows", "_columns")
+
+    def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[tuple]):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        arity = len(schema)
+        stored: list[tuple] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"relation {name!r}: tuple {row!r} has arity {len(row)}, "
+                    f"schema expects {arity}"
+                )
+            stored.append(row)
+        self._rows = stored
+        self._columns: dict[int, list] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {self.schema.attributes}, {len(self)} tuples)"
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The backing row list.  Treat as read-only."""
+        return self._rows
+
+    # ------------------------------------------------------------------
+    # Columnar access
+    # ------------------------------------------------------------------
+    def column(self, attribute: str) -> list:
+        """All values of ``attribute``, in row order (lazily materialized)."""
+        position = self.schema.position(attribute)
+        if self._columns is None:
+            self._columns = {}
+        if position not in self._columns:
+            self._columns[position] = [row[position] for row in self._rows]
+        return self._columns[position]
+
+    # ------------------------------------------------------------------
+    # Relational operations used by the join drivers and generators
+    # ------------------------------------------------------------------
+    def project(self, attributes: Sequence[str], name: str | None = None,
+                distinct: bool = False) -> "Relation":
+        """Projection onto ``attributes`` (optionally duplicate-eliminating)."""
+        positions = self.schema.project_positions(attributes)
+        projected = (tuple(row[i] for i in positions) for row in self._rows)
+        if distinct:
+            projected = dict.fromkeys(projected)
+        return Relation(name or f"{self.name}_proj", Schema(attributes), projected)
+
+    def select(self, predicate, name: str | None = None) -> "Relation":
+        """Selection: keep rows where ``predicate(row)`` is true."""
+        return Relation(name or f"{self.name}_sel", self.schema,
+                        (row for row in self._rows if predicate(row)))
+
+    def reordered(self, total_order: Sequence[str], name: str | None = None) -> "Relation":
+        """Rows permuted so attributes align with ``total_order`` (§2.3.1).
+
+        This is the preparation step every WCOJ index build performs: the
+        returned relation lists each tuple's attributes in total-order
+        sequence so that index levels correspond to total-order positions.
+        """
+        perm = self.schema.permutation_to(total_order)
+        if perm == tuple(range(self.arity)):
+            return self
+        return Relation(name or self.name, self.schema.reordered(total_order),
+                        (tuple(row[i] for i in perm) for row in self._rows))
+
+    def renamed(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Zero-copy view with attributes renamed positionally.
+
+        The join drivers use this to view a stored relation through an
+        atom's query attributes (``E(src, dst)`` seen as ``E(a, b)``); the
+        row list is shared, not copied.
+        """
+        if len(attributes) != self.arity:
+            raise SchemaError(
+                f"renaming {self.name!r} (arity {self.arity}) with "
+                f"{len(attributes)} attribute names"
+            )
+        view = Relation.__new__(Relation)
+        view.name = name or self.name
+        view.schema = Schema(attributes)
+        view._rows = self._rows
+        view._columns = None
+        return view
+
+    def distinct(self, name: str | None = None) -> "Relation":
+        """Duplicate-eliminated copy, preserving first-seen order."""
+        return Relation(name or self.name, self.schema, dict.fromkeys(self._rows))
+
+    def sorted(self, name: str | None = None) -> "Relation":
+        """Copy with rows in lexicographic order (for LFTJ-style tries)."""
+        return Relation(name or self.name, self.schema, sorted(self._rows))
+
+    def sample_rows(self, count: int, rng) -> list[tuple]:
+        """``count`` rows drawn uniformly with replacement using ``rng``."""
+        if not self._rows:
+            return []
+        return [self._rows[rng.randrange(len(self._rows))] for _ in range(count)]

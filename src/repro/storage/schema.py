@@ -1,0 +1,88 @@
+"""Relation schemas and attribute bookkeeping.
+
+A :class:`Schema` names the columns of a relation in order.  The Generic
+Join's preparation phase (§2.3.1) permutes relation columns to align with a
+query's *total order*; :meth:`Schema.permutation_to` computes that column
+permutation and :meth:`Schema.project_positions` resolves attribute names to
+column positions for index adapters and join drivers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of distinct attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        Column names, in storage order.  Names must be unique; joins match
+        columns across relations *by name*, like the paper's datalog-style
+        ``AttributeIndex`` template parameters (Listing 1).
+    """
+
+    attributes: tuple[str, ...]
+    _positions: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in schema: {attrs}")
+        for name in attrs:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_positions", {a: i for i, a in enumerate(attrs)})
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def position(self, name: str) -> int:
+        """Column position of ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(f"attribute {name!r} not in schema {self.attributes}") from None
+
+    def project_positions(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Positions of ``names`` in schema order of *names* (not storage order)."""
+        return tuple(self.position(n) for n in names)
+
+    def permutation_to(self, total_order: Sequence[str]) -> tuple[int, ...]:
+        """Column permutation aligning this schema with ``total_order``.
+
+        Returns positions ``p`` such that reordering a stored tuple ``t`` as
+        ``tuple(t[i] for i in p)`` lists this relation's attributes in the
+        order they appear in the query's total order — the permutation the
+        paper's index adapter applies before building a query-specific index
+        (§2.3.1, §4.1).  Attributes of this schema that do not appear in the
+        total order are appended afterwards in their original order.
+        """
+        order_rank = {name: rank for rank, name in enumerate(total_order)}
+        in_order = [a for a in self.attributes if a in order_rank]
+        leftovers = [a for a in self.attributes if a not in order_rank]
+        in_order.sort(key=order_rank.__getitem__)
+        return tuple(self._positions[a] for a in in_order + leftovers)
+
+    def reordered(self, total_order: Sequence[str]) -> "Schema":
+        """The schema that results from applying :meth:`permutation_to`."""
+        perm = self.permutation_to(total_order)
+        return Schema(self.attributes[i] for i in perm)
+
+    def common_attributes(self, other: "Schema") -> tuple[str, ...]:
+        """Attributes shared with ``other``, in *this* schema's order."""
+        return tuple(a for a in self.attributes if a in other)

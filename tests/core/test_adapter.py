@@ -1,0 +1,77 @@
+"""IndexAdapter: total-order permutation and prefix extraction."""
+
+import pytest
+
+from repro.core import SonicConfig, SonicIndex
+from repro.core.adapter import IndexAdapter
+from repro.errors import SchemaError
+from repro.indexes import BPlusTree
+from repro.storage import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation("R", ("a", "b", "c"),
+                    [(1, 10, 100), (1, 20, 200), (2, 10, 300)])
+
+
+class TestAdapterConstruction:
+    def test_order_must_cover_relation(self, relation):
+        with pytest.raises(SchemaError):
+            IndexAdapter(relation, BPlusTree(3), ("a", "b"))
+
+    def test_arity_mismatch_rejected(self, relation):
+        with pytest.raises(SchemaError):
+            IndexAdapter(relation, BPlusTree(2), ("a", "b", "c"))
+
+    def test_attribute_order_follows_total_order(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("c", "x", "a", "b"))
+        assert adapter.attribute_order == ("c", "a", "b")
+
+
+class TestBuildAndLookup:
+    def test_identity_order(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("a", "b", "c"))
+        adapter.build()
+        assert sorted(adapter.index) == sorted(relation.rows)
+
+    def test_permuted_order(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("c", "a", "b"))
+        adapter.build()
+        expected = sorted((c, a, b) for (a, b, c) in relation.rows)
+        assert sorted(adapter.index) == expected
+
+    def test_sonic_through_adapter(self, relation):
+        index = SonicIndex(3, SonicConfig.for_tuples(3))
+        adapter = IndexAdapter(relation, index, ("b", "c", "a"))
+        adapter.build()
+        assert adapter.index.contains((10, 100, 1))
+
+
+class TestPrefixExtraction:
+    def test_extracts_contiguous_bound_prefix(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("c", "a", "b"))
+        assert adapter.extract_prefix({"c": 100}) == (100,)
+        assert adapter.extract_prefix({"c": 100, "a": 1}) == (100, 1)
+        assert adapter.extract_prefix({"c": 100, "a": 1, "b": 10}) == (100, 1, 10)
+
+    def test_stops_at_first_unbound(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("c", "a", "b"))
+        # 'a' unbound: 'b' cannot contribute even though bound
+        assert adapter.extract_prefix({"c": 100, "b": 10}) == (100,)
+        assert adapter.extract_prefix({"b": 10}) == ()
+
+    def test_position_of(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("c", "a", "b"))
+        assert adapter.position_of("c") == 0
+        assert adapter.position_of("b") == 2
+        with pytest.raises(SchemaError):
+            adapter.position_of("zz")
+
+    def test_contains_binding_requires_full_cover(self, relation):
+        adapter = IndexAdapter(relation, BPlusTree(3), ("a", "b", "c"))
+        adapter.build()
+        assert adapter.contains_binding({"a": 1, "b": 10, "c": 100})
+        assert not adapter.contains_binding({"a": 1, "b": 10, "c": 999})
+        with pytest.raises(SchemaError):
+            adapter.contains_binding({"a": 1, "b": 10})

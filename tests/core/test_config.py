@@ -1,0 +1,47 @@
+"""SonicConfig validation tests."""
+
+import pytest
+
+from repro.core import SonicConfig
+from repro.errors import ConfigurationError
+
+
+class TestSonicConfig:
+    def test_defaults(self):
+        config = SonicConfig()
+        assert config.capacity >= config.bucket_size
+        assert config.capacity % config.bucket_size == 0
+
+    def test_capacity_rounded_to_buckets(self):
+        config = SonicConfig(capacity=100, bucket_size=8)
+        assert config.capacity == 104
+        assert config.num_buckets == 13
+
+    def test_bucket_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SonicConfig(capacity=64, bucket_size=0)
+
+    def test_capacity_below_one_bucket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SonicConfig(capacity=4, bucket_size=8)
+
+    def test_for_tuples_applies_overallocation(self):
+        config = SonicConfig.for_tuples(1000, overallocation=2.0)
+        assert config.capacity >= 2000
+
+    def test_for_tuples_rejects_underallocation(self):
+        with pytest.raises(ConfigurationError):
+            SonicConfig.for_tuples(1000, overallocation=0.5)
+
+    def test_for_tuples_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            SonicConfig.for_tuples(0)
+
+    def test_for_tuples_minimum_one_bucket(self):
+        config = SonicConfig.for_tuples(1, bucket_size=8)
+        assert config.capacity >= 8
+
+    def test_frozen(self):
+        config = SonicConfig()
+        with pytest.raises(AttributeError):
+            config.capacity = 1  # type: ignore[misc]

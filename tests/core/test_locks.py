@@ -1,0 +1,57 @@
+"""Key-range lock manager (§3.4.2)."""
+
+import pytest
+
+from repro.core import KeyRangeLockManager
+from repro.errors import ConfigurationError
+
+
+class TestKeyRangeLockManager:
+    def test_stripe_partitioning(self):
+        manager = KeyRangeLockManager(num_levels=2, capacity=32768,
+                                      granularity=8192)
+        assert manager.stripes_per_level == 4
+        assert manager.stripe_of(0) == 0
+        assert manager.stripe_of(8191) == 0
+        assert manager.stripe_of(8192) == 1
+        assert manager.stripe_of(32767) == 3
+
+    def test_rounds_partial_stripe_up(self):
+        manager = KeyRangeLockManager(num_levels=1, capacity=10000,
+                                      granularity=8192)
+        assert manager.stripes_per_level == 2
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            KeyRangeLockManager(1, 1024, granularity=0)
+
+    def test_locks_are_acquirable_and_distinct(self):
+        manager = KeyRangeLockManager(num_levels=2, capacity=16384,
+                                      granularity=8192)
+        lock_a = manager.lock_for(0, 0)
+        lock_b = manager.lock_for(0, 8192)
+        lock_c = manager.lock_for(1, 0)
+        assert lock_a is not lock_b
+        assert lock_a is not lock_c
+        with lock_a:
+            assert lock_b.acquire(blocking=False)
+            lock_b.release()
+
+    def test_same_range_same_lock(self):
+        manager = KeyRangeLockManager(num_levels=1, capacity=16384,
+                                      granularity=8192)
+        assert manager.lock_for(0, 5) is manager.lock_for(0, 8000)
+
+    def test_acquisition_accounting(self):
+        manager = KeyRangeLockManager(num_levels=2, capacity=1024,
+                                      granularity=128)
+        for slot in (0, 1, 500):
+            manager.lock_for(0, slot)
+        manager.lock_for(1, 0)
+        assert manager.acquisitions == [3, 1]
+        assert manager.total_acquisitions() == 4
+
+    def test_allocator_locks_per_level(self):
+        manager = KeyRangeLockManager(num_levels=3, capacity=1024)
+        locks = {id(manager.allocator_lock(level)) for level in range(3)}
+        assert len(locks) == 3

@@ -1,0 +1,119 @@
+"""Sonic index: construction, insert, point lookup."""
+
+import pytest
+
+from conftest import make_rows
+from repro.core import SonicConfig, SonicIndex
+from repro.errors import ConfigurationError, SchemaError
+
+
+class TestConstruction:
+    def test_requires_arity_two(self):
+        with pytest.raises(ConfigurationError):
+            SonicIndex(1)
+
+    def test_level_count_is_arity_minus_one(self):
+        for arity in (2, 3, 5, 8):
+            assert SonicIndex(arity).num_levels == arity - 1
+
+    def test_keyword_overrides(self):
+        index = SonicIndex(3, capacity=512, bucket_size=16, seed=7)
+        assert index.config.capacity == 512
+        assert index.config.bucket_size == 16
+        assert index.config.seed == 7
+
+    def test_config_object(self):
+        config = SonicConfig(capacity=256, bucket_size=4)
+        assert SonicIndex(3, config).config is config
+
+
+class TestInsertAndContains:
+    def test_empty_index(self):
+        index = SonicIndex(3)
+        assert len(index) == 0
+        assert not index.contains((1, 2, 3))
+        assert list(index) == []
+
+    def test_single_tuple(self):
+        index = SonicIndex(3)
+        index.insert((1, 2, 3))
+        assert len(index) == 1
+        assert index.contains((1, 2, 3))
+        assert not index.contains((1, 2, 4))
+        assert not index.contains((9, 2, 3))
+
+    def test_duplicate_insert_idempotent(self):
+        index = SonicIndex(3)
+        index.insert((1, 2, 3))
+        index.insert((1, 2, 3))
+        assert len(index) == 1
+        assert list(index) == [(1, 2, 3)]
+
+    def test_shared_prefixes(self):
+        index = SonicIndex(3)
+        index.insert((1, 2, 3))
+        index.insert((1, 2, 4))
+        index.insert((1, 5, 6))
+        assert len(index) == 3
+        for row in [(1, 2, 3), (1, 2, 4), (1, 5, 6)]:
+            assert index.contains(row)
+
+    def test_wrong_arity_rejected(self):
+        index = SonicIndex(3)
+        with pytest.raises(SchemaError):
+            index.insert((1, 2))
+        with pytest.raises(SchemaError):
+            index.contains((1, 2, 3, 4))
+
+    def test_membership_operator(self):
+        index = SonicIndex(2)
+        index.insert((4, 5))
+        assert (4, 5) in index
+        assert (5, 4) not in index
+        assert "not a tuple" not in index
+
+    def test_string_keys(self):
+        index = SonicIndex(3)
+        index.insert(("alice", "bob", "carol"))
+        index.insert(("alice", "bob", "dave"))
+        assert index.contains(("alice", "bob", "carol"))
+        assert not index.contains(("alice", "carol", "bob"))
+
+    def test_bulk_build_matches_ground_truth(self):
+        rows = make_rows(4, 600, domain=25, seed=3)
+        index = SonicIndex(4, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        assert len(index) == len(rows)
+        assert sorted(index) == rows
+        for row in rows[::17]:
+            assert index.contains(row)
+
+    def test_arity_two_special_case(self):
+        # arity 2: the single level is first and last simultaneously
+        rows = make_rows(2, 300, domain=40, seed=4)
+        index = SonicIndex(2, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        assert sorted(index) == rows
+        assert index.num_levels == 1
+
+
+class TestIntrospection:
+    def test_level_fill(self):
+        rows = make_rows(3, 200, domain=30, seed=5)
+        index = SonicIndex(3, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        fills = index.level_fill()
+        assert len(fills) == 2
+        assert all(0 < f <= 1 for f in fills)
+
+    def test_memory_usage_positive_and_scales(self):
+        small = SonicIndex(3, SonicConfig(capacity=64))
+        large = SonicIndex(3, SonicConfig(capacity=4096))
+        assert 0 < small.memory_usage() < large.memory_usage()
+
+    def test_patch_stats_keys(self):
+        index = SonicIndex(4, SonicConfig(capacity=64))
+        stats = index.patch_stats()
+        # levels 1 and 2 have patch structures; level 0 does not
+        assert set(stats) == {1, 2}
+        assert all(v == 0.0 for v in stats.values())

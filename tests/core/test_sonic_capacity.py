@@ -1,0 +1,45 @@
+"""Sonic is single-allocation: overflow raises instead of rehashing (§3.1)."""
+
+import pytest
+
+from conftest import make_rows
+from repro.core import SonicConfig, SonicIndex
+from repro.errors import CapacityError
+
+
+class TestCapacityLimits:
+    def test_exact_capacity_fits(self):
+        rows = make_rows(3, 64, domain=1000, seed=31)
+        index = SonicIndex(3, SonicConfig(capacity=64, bucket_size=8))
+        index.build(rows)
+        assert len(index) == 64
+
+    def test_overflow_raises_capacity_error(self):
+        rows = make_rows(3, 100, domain=1000, seed=32)
+        index = SonicIndex(3, SonicConfig(capacity=64, bucket_size=8))
+        with pytest.raises(CapacityError):
+            index.build(rows)
+
+    def test_error_message_mentions_capacity(self):
+        index = SonicIndex(2, SonicConfig(capacity=8, bucket_size=8))
+        with pytest.raises(CapacityError, match="capacity"):
+            for i in range(100):
+                index.insert((i, i))
+
+    def test_duplicates_do_not_consume_capacity(self):
+        index = SonicIndex(3, SonicConfig(capacity=8, bucket_size=8))
+        for _ in range(100):
+            index.insert((1, 2, 3))
+        assert len(index) == 1
+
+    def test_index_still_readable_after_overflow(self):
+        rows = make_rows(2, 200, domain=5000, seed=33)
+        index = SonicIndex(2, SonicConfig(capacity=128, bucket_size=8))
+        inserted = []
+        with pytest.raises(CapacityError):
+            for row in rows:
+                index.insert(row)
+                inserted.append(row)
+        # everything inserted before the failure is still intact
+        for row in inserted[:-1]:
+            assert index.contains(row)

@@ -1,0 +1,103 @@
+"""Sonic patch mechanism (§3.3): spills, patch bits/keys, forced patching."""
+
+import pytest
+
+from conftest import make_rows, matching
+from repro.core import SonicConfig, SonicIndex
+from repro.errors import ConfigurationError
+
+
+def build_tight(rows, arity, overallocation=1.1, bucket_size=4):
+    """A deliberately tight index that must spill and share buckets."""
+    config = SonicConfig.for_tuples(len(rows), bucket_size=bucket_size,
+                                    overallocation=overallocation)
+    index = SonicIndex(arity, config)
+    index.build(rows)
+    return index
+
+
+class TestPatchingUnderPressure:
+    def test_tight_index_patches_but_stays_correct(self):
+        rows = make_rows(3, 700, domain=40, seed=21)
+        index = build_tight(rows, 3)
+        stats = index.patch_stats()
+        assert stats[1] > 0.0, "a tight build must have patched buckets"
+        assert sorted(index) == rows
+        for row in rows[::13]:
+            assert index.contains(row)
+            assert sorted(index.prefix_lookup(row[:1])) == matching(rows, row[:1])
+            assert index.count_prefix(row[:2]) == len(matching(rows, row[:2]))
+
+    def test_spill_flags_set_under_pressure(self):
+        rows = make_rows(4, 600, domain=30, seed=22)
+        index = build_tight(rows, 4)
+        flags = [(level.spilled, level.shared) for level in index._levels[1:]]
+        assert any(spilled or shared for spilled, shared in flags)
+
+    def test_generous_index_barely_patches(self):
+        rows = make_rows(3, 300, domain=500, seed=23)
+        config = SonicConfig.for_tuples(len(rows), overallocation=8.0)
+        index = SonicIndex(3, config)
+        index.build(rows)
+        assert index.patch_stats()[1] <= 0.15  # the paper quotes ~10%
+
+
+class TestForcedPatching:
+    """The §5.13 experiment: patch bits set artificially (Figs 10/12)."""
+
+    def test_force_patch_fraction_counts(self):
+        rows = make_rows(3, 300, domain=40, seed=24)
+        index = SonicIndex(3, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        patched = index.force_patch_fraction(1, 0.5)
+        assert patched == int(index._levels[1].num_buckets * 0.5)
+        assert index.patch_stats()[1] >= 0.45
+
+    def test_forced_patching_preserves_correctness(self):
+        rows = make_rows(3, 400, domain=30, seed=25)
+        index = SonicIndex(3, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        index.force_patch_fraction(1, 1.0)
+        assert sorted(index) == rows
+        for row in rows[::19]:
+            assert index.contains(row)
+            assert sorted(index.prefix_lookup(row[:2])) == matching(rows, row[:2])
+
+    def test_force_patch_on_first_level_rejected(self):
+        index = SonicIndex(3, SonicConfig(capacity=64))
+        with pytest.raises(ConfigurationError):
+            index.force_patch_fraction(0, 0.5)
+
+    def test_force_patch_fraction_validated(self):
+        index = SonicIndex(3, SonicConfig(capacity=64))
+        with pytest.raises(ConfigurationError):
+            index.force_patch_fraction(1, 1.5)
+
+    def test_forced_patching_is_monotone(self):
+        rows = make_rows(3, 200, domain=30, seed=26)
+        index = SonicIndex(3, SonicConfig.for_tuples(len(rows)))
+        index.build(rows)
+        index.force_patch_fraction(1, 0.25)
+        quarter = index.patch_stats()[1]
+        index.force_patch_fraction(1, 0.75)
+        assert index.patch_stats()[1] >= quarter
+
+
+class TestPaperExample:
+    """The Fig 3 walkthrough: <12,9,56,27>, <87,1,84,13>, <68,73,15,8>,
+    <87,44,50,12> and overflow patching semantics."""
+
+    def test_figure3_tuples(self):
+        index = SonicIndex(4, SonicConfig(capacity=32, bucket_size=2))
+        tuples = [(12, 9, 56, 27), (87, 1, 84, 13), (68, 73, 15, 8),
+                  (87, 44, 50, 12)]
+        for row in tuples:
+            index.insert(row)
+        assert len(index) == 4
+        for row in tuples:
+            assert index.contains(row)
+        # prefix counters: 87 has two tuples below it
+        assert index.count_prefix((87,)) == 2
+        assert index.count_prefix((12,)) == 1
+        assert sorted(index.prefix_lookup((87,))) == [(87, 1, 84, 13),
+                                                      (87, 44, 50, 12)]

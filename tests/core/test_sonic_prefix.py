@@ -1,0 +1,101 @@
+"""Sonic index: prefix lookup, prefix counting, child enumeration."""
+
+import pytest
+
+from conftest import make_rows, matching
+from repro.core import SonicConfig, SonicIndex
+from repro.errors import SchemaError
+
+
+class TestPrefixLookup:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 4])
+    def test_all_prefix_lengths(self, rows4, sonic4, length):
+        for row in rows4[::41]:
+            prefix = row[:length]
+            assert sorted(sonic4.prefix_lookup(prefix)) == matching(rows4, prefix)
+
+    def test_missing_prefix_yields_nothing(self, sonic4):
+        assert list(sonic4.prefix_lookup((9999,))) == []
+        assert list(sonic4.prefix_lookup((9999, 1, 2))) == []
+
+    def test_full_tuple_prefix_is_point_lookup(self, rows4, sonic4):
+        row = rows4[0]
+        assert list(sonic4.prefix_lookup(row)) == [row]
+
+    def test_prefix_longer_than_arity_rejected(self, sonic4):
+        with pytest.raises(SchemaError):
+            list(sonic4.prefix_lookup((1, 2, 3, 4, 5)))
+
+    def test_no_duplicates_in_enumeration(self, rows4, sonic4):
+        for row in rows4[::59]:
+            out = list(sonic4.prefix_lookup(row[:1]))
+            assert len(out) == len(set(out))
+
+    def test_arity_two_prefix(self, rows2):
+        index = SonicIndex(2, SonicConfig.for_tuples(len(rows2)))
+        index.build(rows2)
+        for row in rows2[::23]:
+            assert sorted(index.prefix_lookup(row[:1])) == matching(rows2, row[:1])
+
+
+class TestCountPrefix:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 4])
+    def test_counts_match_enumeration(self, rows4, sonic4, length):
+        for row in rows4[::47]:
+            prefix = row[:length]
+            assert sonic4.count_prefix(prefix) == len(matching(rows4, prefix))
+
+    def test_count_zero_for_missing(self, sonic4):
+        assert sonic4.count_prefix((424242,)) == 0
+        assert sonic4.count_prefix((424242, 0, 1)) == 0
+
+    def test_empty_prefix_counts_everything(self, rows4, sonic4):
+        assert sonic4.count_prefix(()) == len(rows4)
+
+    def test_approx_count_never_undercounts(self, rows4, sonic4):
+        # the raw counter is >= truth by construction (§3.3 false positives
+        # can only merge foreign subtrees in, never lose own tuples)
+        for row in rows4[::31]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                assert sonic4.approx_count_prefix(prefix) >= len(
+                    matching(rows4, prefix))
+
+    def test_approx_equals_exact_without_sharing(self):
+        # generous capacity: no spills, no shared buckets => counters exact
+        rows = make_rows(4, 200, domain=12, seed=9)
+        index = SonicIndex(4, SonicConfig.for_tuples(len(rows), overallocation=8.0))
+        index.build(rows)
+        for row in rows[::11]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                assert index.approx_count_prefix(prefix) == len(
+                    matching(rows, prefix))
+
+
+class TestIterNextValues:
+    def test_root_values_are_distinct_first_components(self, rows4, sonic4):
+        truth = sorted({row[0] for row in rows4})
+        assert sorted(sonic4.iter_next_values(())) == truth
+
+    def test_child_values_cover_truth(self, rows4, sonic4):
+        # child enumeration may include rare foreign false positives but
+        # must never miss a genuine child and never duplicate
+        for row in rows4[::37]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                got = list(sonic4.iter_next_values(prefix))
+                truth = {r[length] for r in rows4 if r[:length] == prefix}
+                assert truth <= set(got)
+                assert len(got) == len(set(got))
+
+    def test_last_component_values(self, rows4, sonic4):
+        row = rows4[0]
+        prefix = row[:3]
+        truth = sorted({r[3] for r in rows4 if r[:3] == prefix})
+        assert sorted(sonic4.iter_next_values(prefix)) == truth
+
+    def test_has_prefix(self, rows4, sonic4):
+        assert sonic4.has_prefix(rows4[0][:2])
+        assert not sonic4.has_prefix((31337,))
+        assert sonic4.has_prefix(())

@@ -1,0 +1,99 @@
+"""Property-based tests for the Sonic index (hypothesis).
+
+The invariant under test everywhere: a Sonic index over any tuple set
+behaves exactly like the obvious set-of-tuples model for membership,
+prefix enumeration and prefix counting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SonicConfig, SonicIndex
+
+_tuples3 = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    min_size=0, max_size=120,
+)
+_tuples2 = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    min_size=0, max_size=120,
+)
+
+
+def _build(rows, arity, bucket_size=4, overallocation=1.5):
+    config = SonicConfig.for_tuples(max(len(rows), 1), bucket_size=bucket_size,
+                                    overallocation=overallocation)
+    index = SonicIndex(arity, config)
+    index.build(rows)
+    return index
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_tuples3)
+def test_membership_matches_set_model(rows):
+    model = set(rows)
+    index = _build(rows, 3)
+    assert len(index) == len(model)
+    for row in model:
+        assert index.contains(row)
+    assert sorted(index) == sorted(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_tuples3, probe=st.tuples(st.integers(0, 12), st.integers(0, 12),
+                                      st.integers(0, 12)))
+def test_absent_tuples_not_found(rows, probe):
+    model = set(rows)
+    index = _build(rows, 3)
+    assert index.contains(probe) == (probe in model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_tuples3, length=st.integers(0, 3), pick=st.integers(0, 10**6))
+def test_prefix_lookup_matches_model(rows, length, pick):
+    model = set(rows)
+    index = _build(rows, 3)
+    if model:
+        anchor = sorted(model)[pick % len(model)]
+        prefix = anchor[:length]
+    else:
+        prefix = (0, 0, 0)[:length]
+    truth = sorted(r for r in model if r[:length] == prefix)
+    assert sorted(index.prefix_lookup(prefix)) == truth
+    assert index.count_prefix(prefix) == len(truth)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_tuples2)
+def test_arity_two_model(rows):
+    model = set(rows)
+    index = _build(rows, 2)
+    assert sorted(index) == sorted(model)
+    firsts = sorted({r[0] for r in model})
+    assert sorted(index.iter_next_values(())) == firsts
+    for first in firsts[:5]:
+        truth = sorted(r for r in model if r[0] == first)
+        assert sorted(index.prefix_lookup((first,))) == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_tuples3, extra=_tuples3)
+def test_incremental_inserts_equal_bulk_build(rows, extra):
+    combined = rows + extra
+    bulk = _build(combined, 3, overallocation=2.0)
+    incremental = SonicIndex(
+        3, SonicConfig.for_tuples(max(len(combined), 1), bucket_size=4,
+                                  overallocation=2.0))
+    for row in combined:
+        incremental.insert(row)
+    assert sorted(bulk) == sorted(incremental)
+    assert len(bulk) == len(incremental)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=_tuples3, seed=st.integers(0, 2**32 - 1))
+def test_hash_seed_does_not_change_semantics(rows, seed):
+    config = SonicConfig.for_tuples(max(len(rows), 1), bucket_size=4, seed=seed)
+    index = SonicIndex(3, config)
+    index.build(rows)
+    assert sorted(index) == sorted(set(rows))

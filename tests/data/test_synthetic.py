@@ -1,0 +1,90 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+
+from repro.data import (
+    adversarial_triangle_tables,
+    lookup_workload,
+    prefix_workload,
+    string_table,
+    umbra_adversarial_tables,
+    zipf_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestZipfTable:
+    def test_shape(self):
+        table = zipf_table("T", 500, 3, seed=1)
+        assert len(table) == 500
+        assert table.arity == 3
+        assert table.schema.attributes == ("c0", "c1", "c2")
+
+    def test_distinct_rows(self):
+        table = zipf_table("T", 800, 2, domain=60, alpha=0.5, seed=2)
+        assert len(set(table.rows)) == len(table)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_table("T", 0, 2)
+
+
+class TestLookupWorkloads:
+    def test_miss_fraction(self):
+        table = zipf_table("T", 400, 3, seed=3)
+        present = set(table.rows)
+        probes = lookup_workload(table, 200, seed=4, miss_fraction=0.5)
+        misses = sum(1 for probe in probes if probe not in present)
+        assert len(probes) == 200
+        assert 80 <= misses <= 120
+
+    def test_prefix_workload_lengths(self):
+        table = zipf_table("T", 400, 4, seed=5)
+        probes = prefix_workload(table, 100, prefix_length=2, seed=6)
+        assert all(len(probe) == 2 for probe in probes)
+        prefixes = {row[:2] for row in table.rows}
+        hits = sum(1 for probe in probes if probe in prefixes)
+        assert 30 <= hits <= 70
+
+
+class TestAdversarialTriangle:
+    def test_star_structure_at_full_adversity(self):
+        tables = adversarial_triangle_tables(200, adversity=1.0, seed=7)
+        r = tables["R"]
+        zero_touching = sum(1 for row in r if 0 in row)
+        assert zero_touching > 0.9 * len(r)
+
+    def test_uniform_at_zero_adversity(self):
+        tables = adversarial_triangle_tables(200, adversity=0.0, seed=8)
+        zero_touching = sum(1 for row in tables["R"] if 0 in row)
+        assert zero_touching == 0  # uniform part draws from [1, domain)
+
+    def test_sizes(self):
+        tables = adversarial_triangle_tables(300, adversity=0.5, seed=9)
+        assert all(len(rel) == 300 for rel in tables.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            adversarial_triangle_tables(100, adversity=1.5)
+
+
+class TestUmbraAdversarial:
+    def test_schemas_match_paper(self):
+        tables = umbra_adversarial_tables(150, seed=10)
+        assert tables["R1"].schema.attributes == ("a", "b", "d", "e")
+        assert tables["R5"].schema.attributes == ("c", "e", "f")
+        assert len(tables) == 5
+
+    def test_skew_present_on_shared_attributes(self):
+        tables = umbra_adversarial_tables(300, alpha=1.0, seed=11)
+        column = tables["R1"].column("a")
+        top = max(column.count(v) for v in set(column))
+        assert top > 3  # heavy hitters exist
+
+
+class TestStringTable:
+    def test_variable_length_strings(self):
+        table = string_table("S", 150, 2, key_length=10, seed=12)
+        lengths = {len(value) for row in table for value in row}
+        assert len(lengths) > 1
+        assert len(table) == 150

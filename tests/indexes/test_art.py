@@ -1,0 +1,76 @@
+"""ART structural tests: node adaptation, path compression."""
+
+from conftest import make_rows
+from repro.indexes import AdaptiveRadixTree
+
+
+class TestNodeAdaptation:
+    def test_node_kinds_grow_with_fanout(self):
+        tree = AdaptiveRadixTree(2)
+        # keys differing in the first encoded byte after the tag are hard
+        # to arrange; differing first *component* bytes give wide fanout
+        for i in range(300):
+            tree.insert((i * 1000003 % (1 << 40), i))
+        histogram = tree.node_histogram()
+        assert sum(histogram.values()) > 0
+        # with 300 keys the root region must have outgrown Node4
+        assert histogram[16] + histogram[48] + histogram[256] > 0
+
+    def test_small_tree_uses_node4(self):
+        tree = AdaptiveRadixTree(2)
+        for i in range(3):
+            tree.insert((i, i))
+        histogram = tree.node_histogram()
+        assert histogram[48] == 0
+        assert histogram[256] == 0
+
+    def test_dense_byte_fanout_reaches_node256(self):
+        tree = AdaptiveRadixTree(1)
+        for i in range(256):
+            tree.insert((i,))
+        histogram = tree.node_histogram()
+        assert histogram[256] >= 1
+
+
+class TestPathCompression:
+    def test_shared_long_prefixes(self):
+        # keys share 7 of 8 encoded payload bytes: path compression keeps
+        # the tree shallow and lookups correct
+        base = 0x1122334455667700
+        tree = AdaptiveRadixTree(1)
+        for i in range(200):
+            tree.insert((base + i,))
+        for i in range(200):
+            assert tree.contains((base + i,))
+        assert not tree.contains((base + 500,))
+
+    def test_prefix_split_on_divergent_insert(self):
+        tree = AdaptiveRadixTree(1)
+        tree.insert((0x1111111111111111,))
+        tree.insert((0x1111111111111122,))
+        tree.insert((0x2222222222222222,))  # splits the compressed root path
+        for key in (0x1111111111111111, 0x1111111111111122, 0x2222222222222222):
+            assert tree.contains((key,))
+
+
+class TestOrderedEnumeration:
+    def test_prefix_lookup_in_key_order(self):
+        tree = AdaptiveRadixTree(2)
+        rows = make_rows(2, 300, domain=40, seed=85)
+        tree.build(rows)
+        out = list(tree.prefix_lookup(()))
+        assert out == sorted(out), "ART DFS must yield byte-ordered keys"
+
+    def test_negative_integers_order_correctly(self):
+        tree = AdaptiveRadixTree(1)
+        values = [-5, -1, 0, 3, 100, -100]
+        for value in values:
+            tree.insert((value,))
+        assert [row[0] for row in tree.prefix_lookup(())] == sorted(values)
+
+    def test_mixed_arity_strings(self):
+        tree = AdaptiveRadixTree(2)
+        rows = [("a", "x"), ("a", "y"), ("ab", "z"), ("b", "w")]
+        tree.build(rows)
+        assert sorted(tree.prefix_lookup(("a",))) == [("a", "x"), ("a", "y")]
+        assert list(tree.prefix_lookup(("ab",))) == [("ab", "z")]

@@ -1,0 +1,62 @@
+"""B+tree structural tests: splits, invariants, range scans."""
+
+import pytest
+
+from conftest import make_rows, matching
+from repro.errors import ConfigurationError
+from repro.indexes import BPlusTree
+
+
+class TestStructure:
+    def test_minimum_fanout(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(2, fanout=3)
+
+    def test_root_splits_increase_height(self):
+        tree = BPlusTree(2, fanout=4)
+        assert tree.height == 1
+        for i in range(50):
+            tree.insert((i, i))
+        assert tree.height >= 3
+
+    def test_invariants_after_random_build(self):
+        tree = BPlusTree(3, fanout=8)
+        rows = make_rows(3, 800, domain=40, seed=81)
+        # interleave to exercise mid-node splits
+        tree.build(rows[::2])
+        tree.build(rows[1::2])
+        tree.check_invariants()
+        assert sorted(tree) == rows
+
+    def test_invariants_with_small_fanout(self):
+        tree = BPlusTree(2, fanout=4)
+        rows = make_rows(2, 300, domain=1000, seed=82)
+        tree.build(rows)
+        tree.check_invariants()
+
+    def test_sorted_iteration(self):
+        tree = BPlusTree(2, fanout=16)
+        rows = make_rows(2, 400, domain=500, seed=83)
+        tree.build(reversed(rows))
+        assert list(tree) == rows
+
+
+class TestRangeScan:
+    def test_prefix_scan_crosses_leaves(self):
+        tree = BPlusTree(2, fanout=4)  # tiny leaves force multi-leaf scans
+        rows = [(1, i) for i in range(60)] + [(2, i) for i in range(10)]
+        tree.build(rows)
+        assert list(tree.prefix_lookup((1,))) == [(1, i) for i in range(60)]
+        assert list(tree.prefix_lookup((2,))) == [(2, i) for i in range(10)]
+
+    def test_scan_terminates_at_prefix_boundary(self):
+        tree = BPlusTree(2, fanout=4)
+        rows = make_rows(2, 200, domain=25, seed=84)
+        tree.build(rows)
+        for row in rows[::17]:
+            assert list(tree.prefix_lookup(row[:1])) == matching(rows, row[:1])
+
+    def test_empty_tree_scans(self):
+        tree = BPlusTree(3)
+        assert list(tree.prefix_lookup(())) == []
+        assert tree.count_prefix((1,)) == 0

@@ -1,0 +1,151 @@
+"""Cross-index contract tests.
+
+Every structure in the registry must satisfy the same observable contract
+(the paper's "level playing field", §4.1): set-semantics membership after
+arbitrary inserts, exact prefix enumeration/counting where supported, and
+agreement with the other structures.  SuRF is the one sanctioned
+exception: it is a *filter* (one-sided membership), tested separately.
+"""
+
+import pytest
+
+from conftest import make_rows, matching
+from repro.bench import make_sized_index
+from repro.errors import SchemaError, UnsupportedOperationError
+from repro.indexes import registered_indexes
+
+ALL_INDEXES = registered_indexes()
+EXACT_INDEXES = [n for n in ALL_INDEXES if n != "surf"]
+PREFIX_INDEXES = [n for n in EXACT_INDEXES
+                  if make_sized_index(n, 2, 4).SUPPORTS_PREFIX]
+POINT_ONLY = [n for n in ALL_INDEXES
+              if not make_sized_index(n, 2, 4).SUPPORTS_PREFIX]
+
+
+def build(name, rows, arity):
+    index = make_sized_index(name, arity, max(len(rows), 1))
+    index.build(rows)
+    return index
+
+
+@pytest.mark.parametrize("name", EXACT_INDEXES)
+class TestMembershipContract:
+    def test_empty(self, name):
+        index = make_sized_index(name, 3, 1)
+        assert len(index) == 0
+        assert not index.contains((1, 2, 3))
+
+    def test_insert_then_contains(self, name):
+        rows = make_rows(3, 250, domain=30, seed=61)
+        index = build(name, rows, 3)
+        assert len(index) == len(rows)
+        for row in rows[::7]:
+            assert index.contains(row)
+
+    def test_misses(self, name):
+        rows = make_rows(3, 250, domain=30, seed=61)
+        present = set(rows)
+        index = build(name, rows, 3)
+        probes = make_rows(3, 120, domain=35, seed=62)
+        for probe in probes:
+            assert index.contains(probe) == (probe in present)
+
+    def test_duplicates_are_set_semantics(self, name):
+        rows = make_rows(3, 100, domain=20, seed=63)
+        index = make_sized_index(name, 3, len(rows))
+        index.build(rows)
+        index.build(rows)  # insert everything twice
+        assert len(index) == len(rows)
+
+    def test_wrong_arity_rejected(self, name):
+        index = make_sized_index(name, 3, 8)
+        with pytest.raises(SchemaError):
+            index.insert((1, 2))
+
+    def test_string_tuples(self, name):
+        rows = [("ab", "cd"), ("ab", "ce"), ("xy", "zz")]
+        index = make_sized_index(name, 2, len(rows))
+        index.build(rows)
+        assert index.contains(("ab", "ce"))
+        assert not index.contains(("ab", "cf"))
+
+    def test_memory_usage_reported(self, name):
+        rows = make_rows(3, 100, domain=25, seed=64)
+        index = build(name, rows, 3)
+        assert index.memory_usage() > 0
+
+
+@pytest.mark.parametrize("name", PREFIX_INDEXES)
+class TestPrefixContract:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3])
+    def test_prefix_lookup_exact(self, name, length):
+        rows = make_rows(4, 300, domain=15, seed=65)
+        index = build(name, rows, 4)
+        for row in rows[::31]:
+            prefix = row[:length]
+            assert sorted(index.prefix_lookup(prefix)) == matching(rows, prefix)
+
+    def test_count_prefix_matches_enumeration(self, name):
+        rows = make_rows(4, 300, domain=15, seed=65)
+        index = build(name, rows, 4)
+        for row in rows[::23]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                assert index.count_prefix(prefix) == len(matching(rows, prefix))
+
+    def test_missing_prefix(self, name):
+        rows = make_rows(4, 150, domain=15, seed=66)
+        index = build(name, rows, 4)
+        assert list(index.prefix_lookup((99999,))) == []
+        assert index.count_prefix((99999,)) == 0
+
+    def test_has_prefix(self, name):
+        rows = make_rows(4, 150, domain=15, seed=66)
+        index = build(name, rows, 4)
+        assert index.has_prefix(rows[0][:2])
+        assert not index.has_prefix((99999,))
+
+    def test_iter_next_values_cover_and_distinct(self, name):
+        rows = make_rows(4, 300, domain=12, seed=67)
+        index = build(name, rows, 4)
+        for row in rows[::41]:
+            for length in (0, 1, 2, 3):
+                prefix = row[:length]
+                got = list(index.iter_next_values(prefix))
+                truth = {r[length] for r in rows if r[:length] == prefix}
+                assert truth <= set(got), (name, prefix)
+                assert len(got) == len(set(got)), (name, prefix)
+
+    def test_prefix_too_long_rejected(self, name):
+        index = make_sized_index(name, 3, 4)
+        with pytest.raises(SchemaError):
+            list(index.prefix_lookup((1, 2, 3, 4)))
+
+
+@pytest.mark.parametrize("name", POINT_ONLY)
+class TestPointOnlyIndexes:
+    def test_prefix_operations_raise(self, name):
+        index = make_sized_index(name, 3, 8)
+        index.insert((1, 2, 3))
+        with pytest.raises(UnsupportedOperationError):
+            list(index.prefix_lookup((1,)))
+        with pytest.raises(UnsupportedOperationError):
+            index.count_prefix((1,))
+
+    def test_supports_prefix_flag(self, name):
+        assert make_sized_index(name, 2, 4).SUPPORTS_PREFIX is False
+
+
+class TestCrossIndexAgreement:
+    def test_all_exact_indexes_agree(self):
+        rows = make_rows(4, 400, domain=14, seed=68)
+        built = {name: build(name, rows, 4) for name in EXACT_INDEXES}
+        reference = sorted(rows)
+        for name, index in built.items():
+            if index.SUPPORTS_PREFIX:
+                assert sorted(index.prefix_lookup(())) == reference, name
+        probe_rows = make_rows(4, 60, domain=16, seed=69)
+        present = set(rows)
+        for probe in probe_rows:
+            answers = {name: index.contains(probe) for name, index in built.items()}
+            assert set(answers.values()) == {probe in present}, (probe, answers)

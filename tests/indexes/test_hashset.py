@@ -1,0 +1,68 @@
+"""SwissTable hash set specifics: growth, tombstones, load factor."""
+
+from conftest import make_rows
+from repro.indexes import SwissTableSet
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        index = SwissTableSet(2, initial_capacity=16)
+        rows = make_rows(2, 200, domain=1000, seed=71)
+        index.build(rows)
+        assert len(index) == len(rows)
+        assert index.capacity >= 256
+        for row in rows[::9]:
+            assert index.contains(row)
+
+    def test_load_factor_bounded(self):
+        index = SwissTableSet(2, initial_capacity=16)
+        for i in range(500):
+            index.insert((i, i))
+        assert index.load_factor <= 0.875
+
+    def test_capacity_is_power_of_two(self):
+        index = SwissTableSet(2, initial_capacity=100)
+        assert index.capacity & (index.capacity - 1) == 0
+
+
+class TestRemoval:
+    def test_remove_present(self):
+        index = SwissTableSet(2)
+        index.insert((1, 2))
+        assert index.remove((1, 2))
+        assert not index.contains((1, 2))
+        assert len(index) == 0
+
+    def test_remove_absent(self):
+        index = SwissTableSet(2)
+        assert not index.remove((1, 2))
+
+    def test_probe_chain_survives_tombstones(self):
+        # insert colliding-ish keys, delete some, others must stay findable
+        index = SwissTableSet(2, initial_capacity=32)
+        rows = make_rows(2, 20, domain=100, seed=72)
+        index.build(rows)
+        removed = rows[::2]
+        kept = rows[1::2]
+        for row in removed:
+            assert index.remove(row)
+        for row in kept:
+            assert index.contains(row)
+        for row in removed:
+            assert not index.contains(row)
+
+    def test_reinsert_after_remove(self):
+        index = SwissTableSet(2)
+        index.insert((5, 6))
+        index.remove((5, 6))
+        index.insert((5, 6))
+        assert index.contains((5, 6))
+        assert len(index) == 1
+
+
+class TestIteration:
+    def test_iter_yields_all(self):
+        rows = make_rows(2, 80, domain=500, seed=73)
+        index = SwissTableSet(2)
+        index.build(rows)
+        assert sorted(index) == rows

@@ -1,0 +1,81 @@
+"""Umbra hash trie: lazy expansion, singleton pruning, instrumentation."""
+
+from conftest import make_rows, matching
+from repro.indexes import HashTrie
+
+
+class TestLazyExpansion:
+    def test_build_is_first_level_only(self):
+        rows = make_rows(3, 200, domain=20, seed=111)
+        trie = HashTrie(3, lazy=True)
+        trie.build(rows)
+        assert trie.expanded_levels() == 0
+        assert trie.expansions == 0
+
+    def test_probe_triggers_expansion(self):
+        rows = make_rows(3, 200, domain=10, seed=112)  # dense: long chains
+        trie = HashTrie(3, lazy=True)
+        trie.build(rows)
+        prefix = rows[0][:2]
+        result = sorted(trie.prefix_lookup(prefix))
+        assert result == matching(rows, prefix)
+        assert trie.expansions > 0
+        assert trie.redistributed_tuples > 0
+
+    def test_expansion_is_incremental(self):
+        rows = make_rows(4, 300, domain=8, seed=113)
+        trie = HashTrie(4, lazy=True)
+        trie.build(rows)
+        list(trie.prefix_lookup(rows[0][:2]))
+        after_one_path = trie.expansions
+        list(trie.prefix_lookup(rows[-1][:2]))
+        assert trie.expansions >= after_one_path
+
+    def test_eager_mode_expands_at_build(self):
+        rows = make_rows(3, 150, domain=10, seed=114)
+        trie = HashTrie(3, lazy=False)
+        trie.build(rows)
+        assert trie.expanded_levels() >= 1
+        before = trie.expansions
+        list(trie.prefix_lookup(rows[0][:2]))
+        assert trie.expansions == before  # probes trigger nothing new
+
+
+class TestSingletonPruning:
+    def test_singletons_never_expand(self):
+        # unique first components: every chain is a singleton
+        rows = [(i, i * 2, i * 3) for i in range(100)]
+        trie = HashTrie(3, lazy=True, singleton_pruning=True)
+        trie.build(rows)
+        for row in rows[::9]:
+            assert sorted(trie.prefix_lookup(row[:2])) == [row]
+        assert trie.expansions == 0
+
+    def test_pruning_disabled_expands_singletons(self):
+        rows = [(i, i * 2, i * 3) for i in range(100)]
+        trie = HashTrie(3, lazy=True, singleton_pruning=False)
+        trie.build(rows)
+        for row in rows[::9]:
+            list(trie.prefix_lookup(row[:2]))
+        assert trie.expansions > 0
+
+    def test_pruned_chains_filter_correctly(self):
+        trie = HashTrie(3, singleton_pruning=True)
+        trie.insert((1, 2, 3))
+        # prefix (1, 9) shares the first component only: the pruned chain
+        # must not produce a false match
+        assert list(trie.prefix_lookup((1, 9))) == []
+        assert trie.count_prefix((1, 9)) == 0
+        assert trie.count_prefix((1, 2)) == 1
+
+
+class TestPostExpansionInserts:
+    def test_insert_after_expansion(self):
+        rows = make_rows(3, 120, domain=8, seed=115)
+        trie = HashTrie(3, lazy=True)
+        trie.build(rows)
+        list(trie.prefix_lookup(rows[0][:1]))  # force some expansion
+        new_row = (rows[0][0], 777, 888)
+        trie.insert(new_row)
+        assert trie.contains(new_row)
+        assert new_row in set(trie.prefix_lookup((rows[0][0],)))

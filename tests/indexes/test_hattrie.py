@@ -1,0 +1,63 @@
+"""HAT-trie structural tests: bursting, bucket distribution."""
+
+import pytest
+
+from conftest import make_rows
+from repro.errors import ConfigurationError
+from repro.indexes import HatTrie
+
+
+class TestBursting:
+    def test_small_set_stays_one_bucket(self):
+        trie = HatTrie(2, burst_threshold=64)
+        for i in range(10):
+            trie.insert((i, i))
+        assert trie.bucket_count() == 1
+        assert trie.trie_depth() == 0
+
+    def test_burst_creates_trie_levels(self):
+        trie = HatTrie(2, burst_threshold=8)
+        rows = make_rows(2, 400, domain=1000, seed=91)
+        trie.build(rows)
+        assert trie.bucket_count() > 1
+        assert trie.trie_depth() >= 1
+        assert sorted(trie.prefix_lookup(())) == rows
+
+    def test_burst_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            HatTrie(2, burst_threshold=1)
+
+    def test_deep_bursts_with_shared_prefixes(self):
+        # long shared prefixes force repeated bursting down the key bytes
+        trie = HatTrie(1, burst_threshold=4)
+        base = 0x7000000000000000
+        values = [base + i for i in range(64)]
+        for value in values:
+            trie.insert((value,))
+        assert trie.trie_depth() >= 4
+        for value in values:
+            assert trie.contains((value,))
+
+
+class TestTerminalRows:
+    def test_key_ending_at_inner_node(self):
+        # a short string that is a byte-prefix path of longer ones must
+        # survive bursting as a terminal row
+        trie = HatTrie(1, burst_threshold=2)
+        words = ["a", "ab", "abc", "abcd", "abcde"]
+        for word in words:
+            trie.insert((word,))
+        for word in words:
+            assert trie.contains((word,))
+        assert sorted(r[0] for r in trie.prefix_lookup(())) == sorted(words)
+
+
+class TestPrefixSemantics:
+    def test_component_prefix_not_string_prefix(self):
+        # prefix lookup is per tuple component: ("ab",) must not match
+        # ("abc", ...) rows
+        trie = HatTrie(2, burst_threshold=4)
+        trie.insert(("ab", "x"))
+        trie.insert(("abc", "y"))
+        assert list(trie.prefix_lookup(("ab",))) == [("ab", "x")]
+        assert trie.count_prefix(("abc",)) == 1

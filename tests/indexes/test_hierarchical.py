@@ -1,0 +1,52 @@
+"""Hierarchical hash map: the §3.1 straw-man and its measurable drawbacks."""
+
+from conftest import make_rows, matching
+from repro.indexes import HierarchicalHashMap
+
+
+class TestStructure:
+    def test_table_count_grows_with_distinct_prefixes(self):
+        index = HierarchicalHashMap(3)
+        rows = make_rows(3, 300, domain=30, seed=101)
+        index.build(rows)
+        distinct_l1 = len({row[0] for row in rows})
+        distinct_l2 = len({row[:2] for row in rows})
+        # root + one table per distinct length-1 prefix + per length-2
+        assert index.table_count() == 1 + distinct_l1 + distinct_l2
+
+    def test_exponential_table_drawback_visible(self):
+        # the §3.1 critique: table count explodes with column count
+        rows3 = make_rows(3, 200, domain=12, seed=102)
+        rows5 = [row + row[:2] for row in rows3]
+        shallow = HierarchicalHashMap(3)
+        shallow.build(rows3)
+        deep = HierarchicalHashMap(5)
+        deep.build(rows5)
+        assert deep.table_count() > shallow.table_count()
+
+    def test_arity_one(self):
+        index = HierarchicalHashMap(1)
+        index.build([(i,) for i in range(50)])
+        assert len(index) == 50
+        assert index.contains((7,))
+        assert index.count_prefix(()) == 50
+        assert index.table_count() == 1
+
+
+class TestPrefixCounters:
+    def test_counts_maintained_per_node(self):
+        rows = make_rows(4, 400, domain=10, seed=103)
+        index = HierarchicalHashMap(4)
+        index.build(rows)
+        for row in rows[::19]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                assert index.count_prefix(prefix) == len(matching(rows, prefix))
+
+    def test_duplicates_not_double_counted(self):
+        index = HierarchicalHashMap(3)
+        index.insert((1, 2, 3))
+        index.insert((1, 2, 3))
+        index.insert((1, 2, 4))
+        assert index.count_prefix((1,)) == 2
+        assert index.count_prefix((1, 2)) == 2

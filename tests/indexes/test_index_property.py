@@ -1,0 +1,56 @@
+"""Property-based cross-index tests: every exact index equals the set model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import make_sized_index
+
+_rows = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10), st.integers(0, 10)),
+    min_size=0, max_size=80,
+)
+
+_PREFIX_NAMES = ("sonic", "btree", "art", "hattrie", "hiermap",
+                 "hashtrie", "sortedtrie")
+_POINT_NAMES = ("hashset", "robinhood")
+
+
+def _build(name, rows):
+    index = make_sized_index(name, 3, max(len(rows), 1))
+    index.build(rows)
+    return index
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=_rows)
+def test_prefix_indexes_match_model(rows):
+    model = set(rows)
+    anchor = sorted(model)[0] if model else (0, 0, 0)
+    for name in _PREFIX_NAMES:
+        index = _build(name, rows)
+        assert len(index) == len(model), name
+        assert sorted(index.prefix_lookup(())) == sorted(model), name
+        for length in (1, 2, 3):
+            prefix = anchor[:length]
+            truth = sorted(r for r in model if r[:length] == prefix)
+            assert sorted(index.prefix_lookup(prefix)) == truth, name
+            assert index.count_prefix(prefix) == len(truth), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=_rows, probe=st.tuples(st.integers(0, 10), st.integers(0, 10),
+                                   st.integers(0, 10)))
+def test_point_indexes_match_model(rows, probe):
+    model = set(rows)
+    for name in _POINT_NAMES:
+        index = _build(name, rows)
+        assert len(index) == len(model), name
+        assert index.contains(probe) == (probe in model), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=_rows)
+def test_surf_is_a_sound_filter(rows):
+    index = _build("surf", rows)
+    for row in set(rows):
+        assert index.contains(row)

@@ -1,0 +1,106 @@
+"""SortedTrie and the LFTJ TrieIterator."""
+
+import pytest
+
+from conftest import make_rows, matching
+from repro.errors import QueryError
+from repro.indexes import SortedTrie
+
+
+def build(rows, arity):
+    trie = SortedTrie(arity)
+    trie.build(rows)
+    return trie
+
+
+class TestSortedTrie:
+    def test_rows_sorted_and_distinct(self):
+        rows = make_rows(2, 200, domain=50, seed=141)
+        trie = build(rows + rows[:50], 2)
+        assert trie.rows == rows
+        assert len(trie) == len(rows)
+
+    def test_incremental_resort(self):
+        trie = SortedTrie(2)
+        trie.insert((5, 5))
+        assert trie.contains((5, 5))
+        trie.insert((1, 1))
+        assert trie.rows == [(1, 1), (5, 5)]
+
+    def test_prefix_range_counting_logarithmic_interface(self):
+        rows = make_rows(3, 300, domain=12, seed=142)
+        trie = build(rows, 3)
+        for row in rows[::13]:
+            for length in (1, 2, 3):
+                prefix = row[:length]
+                assert trie.count_prefix(prefix) == len(matching(rows, prefix))
+
+
+class TestTrieIterator:
+    def test_open_key_next_walks_distinct_values(self):
+        rows = [(1, 10), (1, 20), (2, 10), (3, 30)]
+        cursor = build(rows, 2).iterator()
+        cursor.open()
+        seen = []
+        while not cursor.at_end():
+            seen.append(cursor.key())
+            cursor.next()
+        assert seen == [1, 2, 3]
+
+    def test_nested_descent(self):
+        rows = [(1, 10), (1, 20), (2, 30)]
+        cursor = build(rows, 2).iterator()
+        cursor.open()              # depth 0, at value 1
+        assert cursor.key() == 1
+        cursor.open()              # depth 1 under 1
+        values = []
+        while not cursor.at_end():
+            values.append(cursor.key())
+            cursor.next()
+        assert values == [10, 20]
+        cursor.up()
+        cursor.next()              # to value 2
+        assert cursor.key() == 2
+        cursor.open()
+        assert cursor.key() == 30
+
+    def test_seek_forward(self):
+        rows = [(i, 0) for i in range(0, 100, 5)]
+        cursor = build(rows, 2).iterator()
+        cursor.open()
+        cursor.seek(42)
+        assert cursor.key() == 45
+        cursor.seek(45)
+        assert cursor.key() == 45  # seek is >= semantics
+        cursor.seek(96)
+        assert cursor.at_end()
+
+    def test_seek_within_group(self):
+        rows = [(1, 5), (1, 9), (1, 14), (2, 1)]
+        cursor = build(rows, 2).iterator()
+        cursor.open()
+        cursor.open()  # values under 1
+        cursor.seek(8)
+        assert cursor.key() == 9
+        cursor.seek(100)
+        assert cursor.at_end()
+
+    def test_open_past_last_component_raises(self):
+        cursor = build([(1, 2)], 2).iterator()
+        cursor.open()
+        cursor.open()
+        with pytest.raises(QueryError):
+            cursor.open()
+
+    def test_up_above_root_raises(self):
+        cursor = build([(1, 2)], 2).iterator()
+        with pytest.raises(QueryError):
+            cursor.up()
+
+    def test_key_at_end_raises(self):
+        cursor = build([(1, 2)], 2).iterator()
+        cursor.open()
+        cursor.next()
+        assert cursor.at_end()
+        with pytest.raises(QueryError):
+            cursor.key()

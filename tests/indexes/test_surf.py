@@ -1,0 +1,108 @@
+"""SuRF: filter semantics (no false negatives), succinctness, counts."""
+
+import pytest
+
+from conftest import make_rows
+from repro.errors import ConfigurationError
+from repro.indexes import SuccinctRangeFilter
+
+
+class TestFilterSemantics:
+    def test_no_false_negatives(self):
+        rows = make_rows(3, 400, domain=50, seed=131)
+        surf = SuccinctRangeFilter(3, suffix_mode="hash")
+        surf.build(rows)
+        for row in rows:
+            assert surf.contains(row), "SuRF must never reject a stored key"
+
+    def test_false_positive_rate_bounded_with_hash_suffix(self):
+        rows = make_rows(3, 500, domain=40, seed=132)
+        present = set(rows)
+        surf = SuccinctRangeFilter(3, suffix_mode="hash", suffix_bytes=2)
+        surf.build(rows)
+        probes = make_rows(3, 400, domain=60, seed=133)
+        false_positives = sum(
+            1 for probe in probes
+            if probe not in present and surf.contains(probe)
+        )
+        misses = sum(1 for probe in probes if probe not in present)
+        assert misses > 0
+        # 16-bit suffixes: expect well under 5% false positives
+        assert false_positives / misses < 0.05
+
+    def test_real_suffix_mode(self):
+        rows = make_rows(2, 200, domain=500, seed=134)
+        surf = SuccinctRangeFilter(2, suffix_mode="real", suffix_bytes=4)
+        surf.build(rows)
+        for row in rows[::7]:
+            assert surf.contains(row)
+
+    def test_none_suffix_mode_is_pure_prefix_filter(self):
+        surf = SuccinctRangeFilter(2, suffix_mode="none")
+        surf.build([(1, 2), (3, 4)])
+        assert surf.contains((1, 2))
+
+    def test_invalid_suffix_mode(self):
+        with pytest.raises(ConfigurationError):
+            SuccinctRangeFilter(2, suffix_mode="bogus")
+
+    def test_empty_filter(self):
+        surf = SuccinctRangeFilter(2)
+        surf.build([])
+        assert not surf.contains((1, 2))
+        assert surf.approx_count_prefix((1,)) == 0
+
+
+class TestStaticRebuild:
+    def test_insert_after_freeze_rebuilds(self):
+        surf = SuccinctRangeFilter(2)
+        surf.build([(1, 2)])
+        assert surf.contains((1, 2))
+        surf.insert((3, 4))
+        assert surf.contains((3, 4))
+        assert surf.contains((1, 2))
+        assert len(surf) == 2
+
+    def test_duplicate_staged_inserts_collapse(self):
+        surf = SuccinctRangeFilter(2)
+        surf.insert((5, 6))
+        surf.insert((5, 6))
+        assert surf.contains((5, 6))
+        assert len(surf) == 1
+
+
+class TestCountsAndSpace:
+    def test_approx_count_is_lower_bound(self):
+        rows = make_rows(3, 400, domain=12, seed=135)
+        surf = SuccinctRangeFilter(3)
+        surf.build(rows)
+        for row in rows[::23]:
+            for length in (1, 2):
+                prefix = row[:length]
+                truth = sum(1 for r in rows if r[:length] == prefix)
+                approx = surf.approx_count_prefix(prefix)
+                assert 1 <= approx <= truth
+
+    def test_missing_prefix_counts_zero(self):
+        rows = make_rows(3, 100, domain=20, seed=136)
+        surf = SuccinctRangeFilter(3)
+        surf.build(rows)
+        assert surf.approx_count_prefix((99999,)) == 0
+
+    def test_succinct_vs_flat_storage(self):
+        rows = make_rows(3, 1000, domain=60, seed=137)
+        surf = SuccinctRangeFilter(3, suffix_mode="hash", suffix_bytes=1)
+        surf.build(rows)
+        flat_bytes = len(rows) * 3 * 8
+        assert surf.memory_usage() < flat_bytes, "SuRF must beat flat storage"
+
+    def test_leaf_count_is_key_count_for_distinct_keys(self):
+        rows = make_rows(2, 300, domain=5000, seed=138)
+        surf = SuccinctRangeFilter(2)
+        surf.build(rows)
+        assert surf.leaf_count == len(rows)
+
+    def test_prefix_lookup_unsupported(self):
+        surf = SuccinctRangeFilter(2)
+        surf.build([(1, 2)])
+        assert surf.SUPPORTS_PREFIX is False

@@ -1,0 +1,82 @@
+"""Top-level join() API tests."""
+
+import pytest
+
+from repro import Catalog, Relation, join, parse_query, triangle_count
+from repro.data import random_edge_relation, triangle_count_truth
+from repro.errors import ConfigurationError, QueryError
+
+
+@pytest.fixture
+def edges():
+    return random_edge_relation(30, 180, seed=31)
+
+
+class TestJoinApi:
+    def test_query_as_string(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges})
+        assert result.count == triangle_count_truth(edges)
+
+    def test_catalog_source(self, edges):
+        catalog = Catalog([edges])
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)", catalog)
+        assert result.count == triangle_count_truth(edges)
+
+    def test_relation_name_fallback(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        s = Relation("S", ("b", "c"), [(2, 3)])
+        assert join("R(a,b), S(b,c)", {"R": r, "S": s}).count == 1
+
+    def test_unknown_algorithm(self, edges):
+        with pytest.raises(ConfigurationError):
+            join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                 {"E1": edges, "E2": edges, "E3": edges},
+                 algorithm="quantum")
+
+    def test_missing_relation(self):
+        with pytest.raises(QueryError):
+            join("R(a,b), S(b,c)", {"R": Relation("R", ("a", "b"), [])})
+
+    def test_arity_mismatch(self):
+        with pytest.raises(QueryError):
+            join("R(a,b,c)", {"R": Relation("R", ("a", "b"), [(1, 2)])})
+
+    def test_materialize_returns_rows(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges},
+                      materialize=True)
+        assert len(result.rows) == result.count
+        assert result.rows_as_dicts()[0].keys() == set(result.attributes)
+
+    def test_counting_mode_has_no_rows(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges})
+        with pytest.raises(AttributeError):
+            result.rows
+
+    def test_build_time_recorded_for_wcoj(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges}, index="sonic")
+        assert result.metrics.build_seconds > 0
+        assert result.metrics.index == "sonic"
+
+    def test_auto_picks_binary_for_star(self):
+        f = Relation("F", ("t", "x"), [(i, i) for i in range(40)])
+        a = Relation("A", ("t", "p"), [(i, i + 1) for i in range(40)])
+        result = join("F(t,x), A(t,p)", {"F": f, "A": a}, algorithm="auto")
+        assert result.metrics.algorithm == "binary_join"
+        assert result.count == 40
+
+    def test_auto_picks_wcoj_for_triangle(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges},
+                      algorithm="auto")
+        assert result.metrics.algorithm == "generic_join"
+
+
+class TestTriangleCount:
+    def test_matches_truth_for_each_algorithm(self, edges):
+        truth = triangle_count_truth(edges)
+        for algorithm in ("generic", "binary", "hashtrie", "leapfrog"):
+            assert triangle_count(edges, algorithm=algorithm) == truth

@@ -1,0 +1,83 @@
+"""Hash-Trie Join (Umbra) tests."""
+
+from repro.joins import BinaryHashJoin, HashTrieJoin, resolve_relations
+from repro.planner import parse_query
+from repro.storage import Relation
+
+
+def triangle_setup(edges):
+    query = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+    return query, resolve_relations(query, {"E1": edges, "E2": edges,
+                                            "E3": edges})
+
+
+class TestCorrectness:
+    def test_matches_binary_join(self):
+        from repro.data import random_edge_relation
+
+        edges = random_edge_relation(35, 220, seed=10)
+        query, relations = triangle_setup(edges)
+        hashtrie = HashTrieJoin(query, relations).run()
+        binary = BinaryHashJoin(query, relations).run()
+        assert hashtrie.count == binary.count
+
+    def test_flags_toggle_without_changing_results(self):
+        from repro.data import random_edge_relation
+
+        edges = random_edge_relation(30, 150, seed=11)
+        query, relations = triangle_setup(edges)
+        counts = set()
+        for lazy in (True, False):
+            for pruning in (True, False):
+                driver = HashTrieJoin(query, relations, lazy=lazy,
+                                      singleton_pruning=pruning)
+                counts.add(driver.run().count)
+        assert len(counts) == 1
+
+
+class TestUmbraBehaviour:
+    def test_lazy_build_defers_expansion_cost(self):
+        from repro.data import random_edge_relation
+
+        edges = random_edge_relation(40, 260, seed=12)
+        query, relations = triangle_setup(edges)
+        lazy = HashTrieJoin(query, relations, lazy=True)
+        lazy.build()
+        assert lazy.expansion_stats()["expansions"] == 0
+        lazy.run()
+        # arity-2 tries have only one level; expansion work appears on
+        # wider relations — assert the counter plumbing is alive instead
+        stats = lazy.expansion_stats()
+        assert stats["expansions"] >= 0
+
+    def test_skewed_wide_join_pays_runtime_redistribution(self):
+        from repro.data import umbra_adversarial_tables
+
+        tables = umbra_adversarial_tables(220, alpha=0.95, seed=13)
+        query = parse_query(
+            "R1(a,b,d,e), R2(a,c,d,f), R3(a,b,c), R4(b,d,f), R5(c,e,f)")
+        relations = resolve_relations(query, tables)
+        driver = HashTrieJoin(query, relations, lazy=True)
+        driver.run()
+        stats = driver.expansion_stats()
+        assert stats["expansions"] > 0
+        assert stats["redistributed"] > 0
+
+    def test_anchor_is_smallest_relation(self):
+        query = parse_query("R(a,b), S(a,c)")
+        relations = resolve_relations(query, {
+            "R": Relation("R", ("a", "b"), [(i, i) for i in range(50)]),
+            "S": Relation("S", ("a", "c"), [(i, i) for i in range(5)]),
+        })
+        driver = HashTrieJoin(query, relations)
+        assert driver.anchor == "S"
+
+    def test_cursor_count_is_level_width(self):
+        from repro.indexes import HashTrie
+
+        trie = HashTrie(3)
+        trie.build([(1, i, 0) for i in range(10)] + [(2, 0, 0)])
+        cursor = trie.cursor()
+        assert cursor.count() == 2  # two first-level entries
+        assert cursor.try_descend(1)
+        assert cursor.count() == 10  # expanded level width

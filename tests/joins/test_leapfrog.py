@@ -1,0 +1,59 @@
+"""Leapfrog Triejoin tests."""
+
+from repro.data import random_edge_relation, triangle_count_truth
+from repro.joins import BinaryHashJoin, LeapfrogTrieJoin, resolve_relations
+from repro.planner import parse_query
+from repro.storage import Relation
+
+
+class TestCorrectness:
+    def test_triangles_match_truth(self):
+        edges = random_edge_relation(40, 250, seed=21)
+        query = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+        relations = resolve_relations(query, {"E1": edges, "E2": edges,
+                                              "E3": edges})
+        result = LeapfrogTrieJoin(query, relations).run()
+        assert result.count == triangle_count_truth(edges)
+
+    def test_two_way(self):
+        query = parse_query("R(a,b), S(b,c)")
+        relations = resolve_relations(query, {
+            "R": Relation("R", ("a", "b"), [(1, 10), (2, 20), (3, 10)]),
+            "S": Relation("S", ("b", "c"), [(10, 7), (20, 8)]),
+        })
+        result = LeapfrogTrieJoin(query, relations).run(materialize=True)
+        assert result.count == 3
+
+    def test_empty_relation_short_circuits(self):
+        query = parse_query("R(a,b), S(b,c)")
+        relations = resolve_relations(query, {
+            "R": Relation("R", ("a", "b"), []),
+            "S": Relation("S", ("b", "c"), [(1, 2)]),
+        })
+        assert LeapfrogTrieJoin(query, relations).run().count == 0
+
+    def test_matches_binary_on_wider_query(self):
+        import random
+        rng = random.Random(22)
+        r = Relation("R", ("a", "b"),
+                     {(rng.randrange(12), rng.randrange(12)) for _ in range(60)})
+        s = Relation("S", ("b", "c", "d"),
+                     {(rng.randrange(12), rng.randrange(12), rng.randrange(12))
+                      for _ in range(90)})
+        t = Relation("T", ("d", "a"),
+                     {(rng.randrange(12), rng.randrange(12)) for _ in range(60)})
+        query = parse_query("R(a,b), S(b,c,d), T(d,a)")
+        relations = resolve_relations(query, {"R": r, "S": s, "T": t})
+        lftj = LeapfrogTrieJoin(query, relations).run()
+        binary = BinaryHashJoin(query, relations).run()
+        assert lftj.count == binary.count
+
+    def test_seek_counter_grows(self):
+        edges = random_edge_relation(30, 200, seed=23)
+        query = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+        relations = resolve_relations(query, {"E1": edges, "E2": edges,
+                                              "E3": edges})
+        driver = LeapfrogTrieJoin(query, relations)
+        driver.run()
+        assert driver.metrics.lookups > 0
+        assert driver.metrics.build_seconds > 0

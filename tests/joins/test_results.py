@@ -1,0 +1,66 @@
+"""Result sinks and metrics."""
+
+import pytest
+
+from repro.joins.results import (
+    CountingSink,
+    JoinMetrics,
+    JoinResult,
+    MaterializingSink,
+    Stopwatch,
+    make_sink,
+    project_binding,
+)
+
+
+class TestSinks:
+    def test_counting(self):
+        sink = CountingSink()
+        for i in range(5):
+            sink.emit((i,))
+        assert sink.count == 5
+
+    def test_materializing(self):
+        sink = MaterializingSink()
+        sink.emit((1, 2))
+        sink.emit((3, 4))
+        assert sink.rows == [(1, 2), (3, 4)]
+        assert sink.count == 2
+
+    def test_make_sink(self):
+        assert isinstance(make_sink(True), MaterializingSink)
+        assert isinstance(make_sink(False), CountingSink)
+
+
+class TestJoinResult:
+    def test_rows_require_materialization(self):
+        result = JoinResult(attributes=("a",), sink=CountingSink())
+        with pytest.raises(AttributeError):
+            result.rows
+
+    def test_rows_as_dicts(self):
+        sink = MaterializingSink()
+        sink.emit((1, 2))
+        result = JoinResult(attributes=("a", "b"), sink=sink)
+        assert result.rows_as_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestMetrics:
+    def test_total_and_row(self):
+        metrics = JoinMetrics(algorithm="x", index="y",
+                              build_seconds=1.0, probe_seconds=2.0)
+        assert metrics.total_seconds == 3.0
+        row = metrics.as_row()
+        assert row["algorithm"] == "x"
+        assert row["total_s"] == 3.0
+
+
+class TestHelpers:
+    def test_stopwatch_laps(self):
+        watch = Stopwatch()
+        first = watch.lap()
+        second = watch.lap()
+        assert first >= 0 and second >= 0
+
+    def test_project_binding(self):
+        assert project_binding({"a": 1, "b": 2}, ("b", "a")) == (2, 1)

@@ -1,0 +1,91 @@
+"""AGM bound / fractional edge cover tests (§2.1–2.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import QueryError
+from repro.planner import (
+    Hypergraph,
+    agm_bound,
+    cycle_query,
+    fractional_cover,
+    integral_cover_bound,
+    parse_query,
+    verify_cover,
+)
+
+
+def hypergraph(text):
+    return Hypergraph.from_query(parse_query(text))
+
+
+class TestTriangle:
+    """The paper's worked example: |Q| <= n^{3/2} with u = (1/2,1/2,1/2)."""
+
+    def test_optimal_weights(self):
+        cover = fractional_cover(hypergraph("R(a,b), S(b,c), T(c,a)"),
+                                 {"R": 1000, "S": 1000, "T": 1000})
+        for weight in cover.weights.values():
+            assert weight == pytest.approx(0.5, abs=1e-6)
+
+    def test_bound_is_n_to_three_halves(self):
+        n = 1000
+        bound = agm_bound(hypergraph("R(a,b), S(b,c), T(c,a)"),
+                          {"R": n, "S": n, "T": n})
+        assert bound == pytest.approx(n ** 1.5, rel=1e-6)
+
+    def test_fractional_beats_integral(self):
+        n = 1000
+        graph = hypergraph("R(a,b), S(b,c), T(c,a)")
+        sizes = {"R": n, "S": n, "T": n}
+        fractional = agm_bound(graph, sizes)
+        integral = integral_cover_bound(graph, sizes)
+        assert integral == pytest.approx(n * n)
+        assert fractional < integral
+
+
+class TestGeneralQueries:
+    def test_chain_query_bound(self):
+        # acyclic chain R(a,b) S(b,c): cover weights (1,1) -> n*m... the LP
+        # actually picks both edges at weight 1 since each has a private
+        # vertex
+        bound = agm_bound(hypergraph("R(a,b), S(b,c)"), {"R": 100, "S": 50})
+        assert bound == pytest.approx(100 * 50, rel=1e-6)
+
+    def test_single_relation(self):
+        bound = agm_bound(hypergraph("R(a,b)"), {"R": 77})
+        assert bound == pytest.approx(77)
+
+    def test_five_cycle_bound(self):
+        # odd cycle of length 5: fractional cover weight 1/2 per edge,
+        # bound n^{5/2}
+        n = 100
+        graph = Hypergraph.from_query(cycle_query(5))
+        sizes = {f"E{i}": n for i in range(1, 6)}
+        assert agm_bound(graph, sizes) == pytest.approx(n ** 2.5, rel=1e-6)
+
+    def test_empty_relation_pulls_bound_down(self):
+        bound = agm_bound(hypergraph("R(a,b), S(b,c), T(c,a)"),
+                          {"R": 0, "S": 1000, "T": 1000})
+        assert bound <= 1000  # an empty edge caps the product
+
+    def test_missing_cardinality_rejected(self):
+        with pytest.raises(QueryError):
+            fractional_cover(hypergraph("R(a,b)"), {})
+
+
+class TestCoverVerification:
+    def test_lp_solution_is_feasible(self):
+        graph = hypergraph("R(a,b,c), S(c,d), T(d,a)")
+        cover = fractional_cover(graph, {"R": 500, "S": 400, "T": 300})
+        assert verify_cover(graph, cover.weights)
+
+    def test_infeasible_weights_detected(self):
+        graph = hypergraph("R(a,b), S(b,c), T(c,a)")
+        assert not verify_cover(graph, {"R": 0.1, "S": 0.1, "T": 0.1})
+
+    def test_log_bound_consistent(self):
+        graph = hypergraph("R(a,b), S(b,c), T(c,a)")
+        cover = fractional_cover(graph, {"R": 100, "S": 200, "T": 300})
+        assert cover.bound == pytest.approx(math.exp(cover.log_bound))

@@ -1,0 +1,62 @@
+"""Hypergraph tests."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.planner import Hypergraph, parse_query
+
+
+@pytest.fixture
+def triangle():
+    return Hypergraph.from_query(parse_query("R(a,b), S(b,c), T(c,a)"))
+
+
+class TestConstruction:
+    def test_from_query(self, triangle):
+        assert set(triangle.vertices) == {"a", "b", "c"}
+        assert triangle.edges["R"] == frozenset({"a", "b"})
+
+    def test_uncovered_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["a", "b"], {"R": ["a"]})
+
+    def test_unknown_vertex_in_edge_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["a"], {"R": ["a", "zz"]})
+
+
+class TestStructure:
+    def test_edges_with(self, triangle):
+        assert sorted(triangle.edges_with("a")) == ["R", "T"]
+        assert triangle.degree("b") == 2
+
+    def test_is_edge_cover(self, triangle):
+        assert triangle.is_edge_cover(["R", "S"])
+        assert triangle.is_edge_cover(["R", "S", "T"])
+        assert not triangle.is_edge_cover(["R"])
+
+    def test_connected(self, triangle):
+        assert triangle.is_connected()
+        split = Hypergraph(["a", "b", "x", "y"],
+                           {"R": ["a", "b"], "S": ["x", "y"]})
+        assert not split.is_connected()
+
+    def test_single_edge_cover(self, triangle):
+        assert not triangle.covered_by_single_edge()
+        wide = Hypergraph(["a", "b"], {"R": ["a", "b"], "S": ["a"]})
+        assert wide.covered_by_single_edge()
+
+
+class TestRestriction:
+    def test_restricted_to(self, triangle):
+        sub = triangle.restricted_to(["a", "b"])
+        assert set(sub.vertices) == {"a", "b"}
+        assert sub.edges["R"] == frozenset({"a", "b"})
+        assert sub.edges["S"] == frozenset({"b"})
+        assert sub.edges["T"] == frozenset({"a"})
+
+    def test_restriction_drops_disjoint_edges(self):
+        graph = Hypergraph(["a", "b", "c"],
+                           {"R": ["a", "b"], "S": ["c"]})
+        sub = graph.restricted_to(["a", "b"])
+        assert "S" not in sub.edges

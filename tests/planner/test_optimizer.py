@@ -1,0 +1,102 @@
+"""Join ordering and the hybrid binary/WCOJ chooser."""
+
+from repro.planner import (
+    HybridOptimizer,
+    Hypergraph,
+    Statistics,
+    cycle_query,
+    greedy_join_order,
+    is_alpha_acyclic,
+    parse_query,
+)
+from repro.storage import Relation
+
+
+def make_stats(sizes: dict[str, int], arities: dict[str, tuple]):
+    relations = []
+    for name, size in sizes.items():
+        attrs = arities[name]
+        rows = [tuple((i + j) % max(size, 1) for j in range(len(attrs)))
+                for i in range(size)]
+        relations.append(Relation(name, attrs, set(rows)))
+    return Statistics.collect(relations)
+
+
+class TestGreedyOrder:
+    def test_starts_with_smallest(self):
+        query = parse_query("R(a,b), S(b,c), T(c,d)")
+        stats = make_stats({"R": 1000, "S": 10, "T": 500},
+                           {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")})
+        order = greedy_join_order(query, stats)
+        assert order[0] == "S"
+        assert sorted(order) == ["R", "S", "T"]
+
+    def test_prefers_connected_extensions(self):
+        query = parse_query("R(a,b), S(b,c), T(x,y), U(c,x)")
+        stats = make_stats(
+            {"R": 10, "S": 100, "T": 5, "U": 100},
+            {"R": ("a", "b"), "S": ("b", "c"), "T": ("x", "y"),
+             "U": ("c", "x")})
+        order = greedy_join_order(query, stats)
+        # the query is connected, so every step after the first must share
+        # an attribute with what is already bound (no cross products)
+        bound = set(query.attributes_of(order[0]))
+        for alias in order[1:]:
+            attrs = set(query.attributes_of(alias))
+            assert attrs & bound, (order, alias)
+            bound |= attrs
+
+
+class TestAcyclicity:
+    def test_triangle_is_cyclic(self):
+        graph = Hypergraph.from_query(cycle_query(3))
+        assert not is_alpha_acyclic(graph)
+
+    def test_chain_is_acyclic(self):
+        graph = Hypergraph.from_query(parse_query("R(a,b), S(b,c), T(c,d)"))
+        assert is_alpha_acyclic(graph)
+
+    def test_star_is_acyclic(self):
+        graph = Hypergraph.from_query(
+            parse_query("F(t,x), A(t,p), B(t,k), C(t,m)"))
+        assert is_alpha_acyclic(graph)
+
+    def test_contained_edge_is_ear(self):
+        graph = Hypergraph.from_query(parse_query("R(a,b,c), S(a,b)"))
+        assert is_alpha_acyclic(graph)
+
+    def test_five_cycle_is_cyclic(self):
+        graph = Hypergraph.from_query(cycle_query(5))
+        assert not is_alpha_acyclic(graph)
+
+
+class TestHybridOptimizer:
+    def test_cyclic_query_goes_wcoj(self):
+        query = cycle_query(3)
+        stats = make_stats({f"E{i}": 100 for i in (1, 2, 3)},
+                           {"E1": ("v0", "v1"), "E2": ("v1", "v2"),
+                            "E3": ("v2", "v0")})
+        choice = HybridOptimizer().choose(query, stats)
+        assert choice.algorithm == "wcoj"
+        assert "cyclic" in choice.reason
+
+    def test_star_query_goes_binary(self):
+        query = parse_query("F(t,x), A(t,p), B(t,k)")
+        stats = make_stats({"F": 100, "A": 100, "B": 100},
+                           {"F": ("t", "x"), "A": ("t", "p"), "B": ("t", "k")})
+        choice = HybridOptimizer().choose(query, stats)
+        assert choice.algorithm == "binary"
+
+    def test_single_atom_is_a_scan(self):
+        query = parse_query("R(a,b)")
+        stats = make_stats({"R": 10}, {"R": ("a", "b")})
+        assert HybridOptimizer().choose(query, stats).algorithm == "binary"
+
+    def test_choice_carries_bounds(self):
+        query = cycle_query(3)
+        stats = make_stats({f"E{i}": 100 for i in (1, 2, 3)},
+                           {"E1": ("v0", "v1"), "E2": ("v1", "v2"),
+                            "E3": ("v2", "v0")})
+        choice = HybridOptimizer().choose(query, stats)
+        assert choice.agm_bound > 0
+        assert choice.binary_estimate > 0

@@ -1,0 +1,74 @@
+"""CSV round-trip tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import (
+    Relation,
+    Schema,
+    load_edge_list,
+    load_relation,
+    save_edge_list,
+    save_relation,
+)
+
+
+class TestCsvRoundTrip:
+    def test_typed_round_trip(self, tmp_path):
+        relation = Relation("R", ("a", "b"), [(1, "x"), (2, "y")])
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        loaded = load_relation("R", path)
+        assert sorted(loaded) == sorted(relation)
+        assert loaded.schema == relation.schema
+
+    def test_untyped_integer_inference(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        loaded = load_relation("R", path)
+        assert sorted(loaded) == [(1, 2), (3, 4)]
+
+    def test_untyped_mixed_stays_string(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        loaded = load_relation("R", path)
+        assert (1, "x") in loaded
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_relation("R", path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        relation = Relation("R", ("a", "b"), [(1, 2)])
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        with pytest.raises(SchemaError):
+            load_relation("R", path, schema=Schema(("x", "y")))
+
+    def test_empty_relation_round_trip(self, tmp_path):
+        relation = Relation("R", ("a", "b"), [])
+        path = tmp_path / "r.csv"
+        save_relation(relation, path)
+        assert len(load_relation("R", path)) == 0
+
+
+class TestEdgeLists:
+    def test_round_trip(self, tmp_path):
+        relation = Relation("E", ("src", "dst"), [(1, 2), (3, 4)])
+        path = tmp_path / "edges.txt"
+        save_edge_list(relation, path)
+        loaded = load_edge_list("E", path)
+        assert sorted(loaded) == sorted(relation)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# a SNAP header\n1\t2\n# more\n3\t4\n")
+        loaded = load_edge_list("E", path)
+        assert sorted(loaded) == [(1, 2), (3, 4)]
+
+    def test_non_binary_rejected(self, tmp_path):
+        relation = Relation("R", ("a", "b", "c"), [(1, 2, 3)])
+        with pytest.raises(SchemaError):
+            save_edge_list(relation, tmp_path / "x.txt")

@@ -1,0 +1,84 @@
+"""Relation tests."""
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Relation, Schema
+
+
+@pytest.fixture
+def relation():
+    return Relation("R", ("a", "b", "c"),
+                    [(1, 2, 3), (1, 5, 6), (2, 2, 3)])
+
+
+class TestBasics:
+    def test_len_iter_contains(self, relation):
+        assert len(relation) == 3
+        assert (1, 2, 3) in relation
+        assert (9, 9, 9) not in relation
+        assert sorted(relation) == [(1, 2, 3), (1, 5, 6), (2, 2, 3)]
+
+    def test_schema_from_sequence(self):
+        relation = Relation("R", ["x", "y"], [(1, 2)])
+        assert isinstance(relation.schema, Schema)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("a", "b"), [(1, 2, 3)])
+
+    def test_column(self, relation):
+        assert relation.column("a") == [1, 1, 2]
+        assert relation.column("c") == [3, 6, 3]
+
+
+class TestOperations:
+    def test_project(self, relation):
+        projected = relation.project(("c", "a"))
+        assert projected.schema.attributes == ("c", "a")
+        assert sorted(projected) == [(3, 1), (3, 2), (6, 1)]
+
+    def test_project_distinct(self, relation):
+        projected = relation.project(("b",), distinct=True)
+        assert sorted(projected) == [(2,), (5,)]
+
+    def test_select(self, relation):
+        selected = relation.select(lambda row: row[0] == 1)
+        assert len(selected) == 2
+
+    def test_reordered(self, relation):
+        reordered = relation.reordered(("c", "b", "a"))
+        assert reordered.schema.attributes == ("c", "b", "a")
+        assert (3, 2, 1) in reordered
+
+    def test_reordered_identity_returns_self(self, relation):
+        assert relation.reordered(("a", "b", "c")) is relation
+
+    def test_renamed_shares_rows(self, relation):
+        view = relation.renamed(("x", "y", "z"))
+        assert view.rows is relation.rows
+        assert view.schema.attributes == ("x", "y", "z")
+
+    def test_renamed_arity_checked(self, relation):
+        with pytest.raises(SchemaError):
+            relation.renamed(("x", "y"))
+
+    def test_distinct(self):
+        relation = Relation("R", ("a",), [(1,), (1,), (2,)])
+        assert len(relation.distinct()) == 2
+
+    def test_sorted(self):
+        relation = Relation("R", ("a", "b"), [(2, 1), (1, 9), (1, 2)])
+        assert list(relation.sorted()) == [(1, 2), (1, 9), (2, 1)]
+
+    def test_sample_rows(self, relation):
+        rng = random.Random(1)
+        sample = relation.sample_rows(10, rng)
+        assert len(sample) == 10
+        assert all(row in relation.rows for row in sample)
+
+    def test_sample_empty(self):
+        relation = Relation("R", ("a",), [])
+        assert relation.sample_rows(5, random.Random(1)) == []

@@ -1,0 +1,71 @@
+"""Schema tests."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Schema
+
+
+class TestValidation:
+    def test_basic(self):
+        schema = Schema(("a", "b", "c"))
+        assert len(schema) == 3
+        assert list(schema) == ["a", "b", "c"]
+        assert "b" in schema
+        assert "z" not in schema
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"))
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", 3))
+
+    def test_equality_and_hash(self):
+        assert Schema(("a", "b")) == Schema(("a", "b"))
+        assert Schema(("a", "b")) != Schema(("b", "a"))
+        assert hash(Schema(("a",))) == hash(Schema(("a",)))
+
+
+class TestPositions:
+    def test_position(self):
+        schema = Schema(("x", "y"))
+        assert schema.position("x") == 0
+        assert schema.position("y") == 1
+        with pytest.raises(SchemaError):
+            schema.position("z")
+
+    def test_project_positions(self):
+        schema = Schema(("a", "b", "c"))
+        assert schema.project_positions(("c", "a")) == (2, 0)
+
+
+class TestPermutation:
+    def test_permutation_to_total_order(self):
+        schema = Schema(("a", "b", "c"))
+        perm = schema.permutation_to(("c", "a", "b"))
+        assert perm == (2, 0, 1)
+        assert schema.reordered(("c", "a", "b")).attributes == ("c", "a", "b")
+
+    def test_identity(self):
+        schema = Schema(("a", "b"))
+        assert schema.permutation_to(("a", "b")) == (0, 1)
+
+    def test_partial_order_appends_leftovers(self):
+        schema = Schema(("a", "b", "c"))
+        perm = schema.permutation_to(("c",))
+        assert perm == (2, 0, 1)
+
+    def test_order_with_foreign_attributes(self):
+        schema = Schema(("a", "b"))
+        assert schema.permutation_to(("z", "b", "q", "a")) == (1, 0)
+
+    def test_common_attributes(self):
+        left = Schema(("a", "b", "c"))
+        right = Schema(("c", "b", "x"))
+        assert left.common_attributes(right) == ("b", "c")
