@@ -24,6 +24,7 @@ from repro.core.adapter import IndexAdapter
 from repro.errors import (
     CapacityError,
     ConfigurationError,
+    PlanValidationError,
     QueryError,
     ReproError,
     SchemaError,
@@ -64,6 +65,7 @@ __all__ = [
     "JoinQuery",
     "JoinResult",
     "LeapfrogTrieJoin",
+    "PlanValidationError",
     "QueryError",
     "Relation",
     "ReproError",

@@ -1,9 +1,15 @@
-"""``python -m repro`` — a 10-second self-check and demo.
+"""``python -m repro`` — self-check demo plus tooling subcommands.
 
-Builds a small graph, runs the triangle query through every join
-algorithm and every prefix-capable index, checks the results against a
-brute-force oracle, and prints a one-screen summary.  Exits non-zero on
-any disagreement, so it doubles as a smoke test for packaging.
+With no arguments (or ``selfcheck``) this builds a small graph, runs the
+triangle query through every join algorithm and every prefix-capable
+index, checks the results against a brute-force oracle, and prints a
+one-screen summary.  Exits non-zero on any disagreement, so it doubles as
+a smoke test for packaging.
+
+Subcommands::
+
+    python -m repro selfcheck          # the default: algorithm/index sweep
+    python -m repro analysis [args…]   # static analysis (see repro.analysis)
 """
 
 from __future__ import annotations
@@ -11,13 +17,13 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import __version__, join, parse_query
-from repro.data import random_edge_relation, triangle_count_truth
-from repro.indexes import prefix_capable_indexes
-from repro.planner import Hypergraph, fractional_cover
 
+def selfcheck() -> int:
+    from repro import __version__, join, parse_query
+    from repro.data import random_edge_relation, triangle_count_truth
+    from repro.indexes import prefix_capable_indexes
+    from repro.planner import Hypergraph, fractional_cover
 
-def main() -> int:
     print(f"repro {__version__} — SonicJoin reproduction self-check")
     edges = random_edge_relation(45, 300, seed=42)
     truth = triangle_count_truth(edges)
@@ -50,6 +56,20 @@ def main() -> int:
         return 1
     print("self-check passed; see examples/ and benchmarks/ for more")
     return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] == "selfcheck":
+        return selfcheck()
+    if argv[0] == "analysis":
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv[1:])
+    print(f"unknown subcommand {argv[0]!r}; "
+          "usage: python -m repro [selfcheck | analysis …]",
+          file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

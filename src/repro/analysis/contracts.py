@@ -1,0 +1,236 @@
+"""Index contract checker (RA201–RA205).
+
+The paper's framework promise (§4.1) is that *any* index plugs into the
+same Generic Join driver as long as it provides the required operations.
+In C++ that contract is enforced by the template type system at compile
+time; here we enforce it by introspection over
+:mod:`repro.indexes.registry` — without executing any index operation
+(the ``SUPPORTS_PREFIX=False`` raise check is done on the method's AST,
+not by calling it):
+
+* **RA201** — a registered class leaves part of the
+  :class:`~repro.indexes.base.TupleIndex` abstract surface unimplemented
+  (it would raise ``TypeError`` at instantiation, or worse, a factory
+  could smuggle an abstract subclass past the registry).
+* **RA202** — ``NAME`` problems: missing/placeholder ``NAME``, a ``NAME``
+  that disagrees with the registry key, or two registered classes
+  claiming the same ``NAME``.
+* **RA203** — ``SUPPORTS_PREFIX=False`` but an overriding prefix method
+  does *not* raise :class:`~repro.errors.UnsupportedOperationError`: the
+  structure would silently serve wrong prefix answers instead of being
+  excluded from prefix experiments.
+* **RA204** — ``SUPPORTS_PREFIX=True`` but ``prefix_lookup`` /
+  ``count_prefix`` are never overridden, so the inherited base methods
+  raise at the first probe.
+* **RA205** — a :class:`~repro.indexes.base.PrefixCursor` subclass in the
+  index's module leaves cursor abstract methods unimplemented.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Callable, Mapping
+
+from repro.analysis.findings import Finding, Severity
+
+_PREFIX_METHODS = ("prefix_lookup", "count_prefix")
+
+
+def _class_location(cls: type) -> tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    return path, line
+
+
+def _finding(cls: type, rule: str, message: str,
+             severity: Severity = Severity.ERROR) -> Finding:
+    path, line = _class_location(cls)
+    return Finding(path=path, line=line, column=1, rule=rule,
+                   severity=severity, message=message)
+
+
+def _defining_class(cls: type, method: str) -> "type | None":
+    """The class in ``cls``'s MRO whose ``__dict__`` defines ``method``."""
+    for klass in cls.__mro__:
+        if method in vars(klass):
+            return klass
+    return None
+
+
+def _method_raises(cls: type, method: str, exception_name: str) -> bool:
+    """Does ``cls.<method>``'s body contain ``raise <exception_name>``?
+
+    Checked on the source AST — never by executing the method.  Methods we
+    cannot get source for (C extensions) are given the benefit of the
+    doubt.
+    """
+    func = vars(cls).get(method)
+    func = getattr(func, "__func__", func)  # unwrap staticmethod et al.
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return True
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == exception_name:
+            return True
+    return False
+
+
+def _resolve_class(name: str, factory: Callable) -> "type | None":
+    """The index class behind a registry factory, without instantiation.
+
+    Factories in this repository are the classes themselves; for wrapper
+    functions we follow ``__wrapped__`` or give up (reported as RA202 by
+    the caller).
+    """
+    if isinstance(factory, type):
+        return factory
+    wrapped = getattr(factory, "__wrapped__", None)
+    if isinstance(wrapped, type):
+        return wrapped
+    return None
+
+
+def check_class(registry_name: str, cls: type) -> list[Finding]:
+    """All contract findings for one registered index class."""
+    from repro.indexes.base import PrefixCursor, TupleIndex
+
+    findings: list[Finding] = []
+
+    if not (isinstance(cls, type) and issubclass(cls, TupleIndex)):
+        findings.append(_finding(
+            cls if isinstance(cls, type) else type(cls), "RA201",
+            f"registry entry {registry_name!r} is not a TupleIndex subclass",
+        ))
+        return findings
+
+    # RA201 — abstract surface fully implemented
+    remaining = sorted(getattr(cls, "__abstractmethods__", frozenset()))
+    if remaining:
+        findings.append(_finding(
+            cls, "RA201",
+            f"{cls.__name__} (registered as {registry_name!r}) leaves "
+            f"abstract methods unimplemented: {remaining}",
+        ))
+
+    # RA202 — NAME discipline
+    name = cls.__dict__.get("NAME", None)
+    if name is None or name == TupleIndex.NAME:
+        findings.append(_finding(
+            cls, "RA202",
+            f"{cls.__name__} does not declare its own NAME (found "
+            f"{getattr(cls, 'NAME', None)!r}); every registered index "
+            "needs a unique registry key",
+        ))
+    elif name != registry_name:
+        findings.append(_finding(
+            cls, "RA202",
+            f"{cls.__name__}.NAME is {name!r} but it is registered as "
+            f"{registry_name!r}; the two must agree for harness sweeps",
+        ))
+
+    supports_prefix = getattr(cls, "SUPPORTS_PREFIX", None)
+    if not isinstance(supports_prefix, bool):
+        findings.append(_finding(
+            cls, "RA202",
+            f"{cls.__name__}.SUPPORTS_PREFIX must be a bool, found "
+            f"{supports_prefix!r}",
+        ))
+        return findings
+
+    if supports_prefix:
+        # RA204 — the prefix surface must actually be implemented
+        for method in _PREFIX_METHODS:
+            if _defining_class(cls, method) is TupleIndex:
+                findings.append(_finding(
+                    cls, "RA204",
+                    f"{cls.__name__} declares SUPPORTS_PREFIX=True but "
+                    f"inherits the raising base {method}(); implement it "
+                    "or declare SUPPORTS_PREFIX=False",
+                ))
+    else:
+        # RA203 — overridden prefix methods must keep raising
+        for method in _PREFIX_METHODS:
+            owner = _defining_class(cls, method)
+            if owner is None or owner is TupleIndex:
+                continue  # inherited base default raises: contract held
+            if not _method_raises(owner, method, "UnsupportedOperationError"):
+                findings.append(_finding(
+                    cls, "RA203",
+                    f"{cls.__name__} declares SUPPORTS_PREFIX=False but "
+                    f"{owner.__name__}.{method}() does not raise "
+                    "UnsupportedOperationError; point-only structures must "
+                    "refuse prefix operations loudly",
+                ))
+
+    # RA205 — cursors shipped alongside the index implement their surface
+    module = inspect.getmodule(cls)
+    if module is not None:
+        for value in vars(module).values():
+            if (isinstance(value, type) and issubclass(value, PrefixCursor)
+                    and value is not PrefixCursor
+                    and value.__module__ == module.__name__):
+                open_methods = sorted(
+                    getattr(value, "__abstractmethods__", frozenset()))
+                if open_methods:
+                    findings.append(_finding(
+                        value, "RA205",
+                        f"cursor {value.__name__} leaves abstract methods "
+                        f"unimplemented: {open_methods}",
+                    ))
+    return findings
+
+
+def check_registry(factories: "Mapping[str, Callable] | None" = None,
+                   ) -> list[Finding]:
+    """Contract-check every registered index (the whole §4.1 surface).
+
+    With ``factories=None`` the live :mod:`repro.indexes.registry` is
+    checked — importing it registers the built-in index set.
+    """
+    if factories is None:
+        import repro.indexes  # noqa: F401  (import populates the registry)
+        from repro.indexes.registry import registered_factories
+
+        factories = registered_factories()
+
+    findings: list[Finding] = []
+    seen_names: dict[str, str] = {}
+    for registry_name in sorted(factories):
+        factory = factories[registry_name]
+        cls = _resolve_class(registry_name, factory)
+        if cls is None:
+            findings.append(Finding(
+                path="<registry>", line=1, column=1, rule="RA202",
+                severity=Severity.WARNING,
+                message=(f"registry entry {registry_name!r} is an opaque "
+                         "factory; cannot introspect its index class"),
+            ))
+            continue
+        findings.extend(check_class(registry_name, cls))
+        declared = getattr(cls, "NAME", registry_name)
+        if declared in seen_names and seen_names[declared] != cls.__qualname__:
+            findings.append(_finding(
+                cls, "RA202",
+                f"NAME {declared!r} claimed by both "
+                f"{seen_names[declared]} and {cls.__qualname__}",
+            ))
+        seen_names.setdefault(declared, cls.__qualname__)
+    findings.sort()
+    return findings

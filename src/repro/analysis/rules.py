@@ -1,0 +1,342 @@
+"""Repo-specific lint rules (RA101–RA105).
+
+Each rule mechanises one invariant the reproduction's benchmark figures
+depend on.  The C++ framework the paper builds on gets most of these from
+the type system (template contracts, a single Murmur hash functor); in
+Python they are enforceable only as AST passes:
+
+* **RA101** — all hashing inside ``indexes/``/``core/`` must route through
+  :mod:`repro.core.hashing`; builtin ``hash()`` picks up ``PYTHONHASHSEED``
+  nondeterminism and breaks cross-process reproducibility.
+* **RA102** — every RNG must be an explicitly seeded generator
+  (``random.Random(seed)``, ``np.random.default_rng(seed)``); global or
+  unseeded RNG calls make datasets irreproducible.
+* **RA103** — mutating a container while iterating it (the classic
+  trie-node bug shape: rebucketing a node while walking its children).
+* **RA104** — bare ``except:`` and silently swallowed
+  ``UnsupportedOperationError``: an index quietly eating the "I cannot do
+  prefix lookups" signal corrupts every figure downstream.
+* **RA105** — ``time.time()`` used for measurement outside
+  ``repro/bench/timer.py``; wall-clock-of-day is not a monotonic interval
+  timer.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePath
+
+from repro.analysis.engine import LintRule, register_rule
+from repro.analysis.findings import Finding
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _collect_import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted import path they are bound to.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from random import randrange as rr`` yields
+    ``{"rr": "random.randrange"}``.  Only top-level and nested plain
+    imports are tracked — attribute rebinding (``r = random``) is not,
+    which keeps the pass conservative (no false positives from
+    lookalike locals).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+                if name.asname:
+                    aliases[name.asname] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _resolve_call(func: ast.AST, aliases: dict[str, str]) -> "str | None":
+    """Dotted path of a call target, resolved through import aliases.
+
+    ``np.random.rand`` with ``np -> numpy`` resolves to
+    ``numpy.random.rand``; unresolvable targets (locals, ``self.…``)
+    return ``None``.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    return ".".join([base, *reversed(parts)]) if parts else base
+
+
+def _expr_key(node: ast.AST) -> "tuple[str, ...] | None":
+    """Canonical key for a name / dotted-attribute expression."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# RA101 — deterministic hashing
+# ----------------------------------------------------------------------
+@register_rule
+class BuiltinHashRule(LintRule):
+    """Builtin ``hash()`` inside the index/core subtrees."""
+
+    code = "RA101"
+    title = "builtin hash() bypasses repro.core.hashing"
+
+    _SCOPED_DIRS = frozenset({"indexes", "core"})
+
+    def applies_to(self, path: PurePath) -> bool:
+        if path.name == "hashing.py":  # the one module allowed to define hashing
+            return False
+        return any(part in self._SCOPED_DIRS for part in path.parts)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_builtin_hash = isinstance(func, ast.Name) and func.id == "hash"
+            is_qualified = (isinstance(func, ast.Attribute)
+                            and func.attr == "hash"
+                            and isinstance(func.value, ast.Name)
+                            and func.value.id == "builtins")
+            if is_builtin_hash or is_qualified:
+                yield self.finding(
+                    path, node,
+                    "builtin hash() depends on PYTHONHASHSEED; route key "
+                    "hashing through repro.core.hashing.hash_key/hash_tuple",
+                )
+
+
+# ----------------------------------------------------------------------
+# RA102 — seeded randomness
+# ----------------------------------------------------------------------
+@register_rule
+class UnseededRandomRule(LintRule):
+    """Global or unseeded RNG calls."""
+
+    code = "RA102"
+    title = "unseeded / global RNG call"
+
+    #: numpy constructors that are fine *when given a seed argument*
+    _NUMPY_SEEDED = frozenset({
+        "default_rng", "Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+        "Philox", "MT19937", "SFC64", "RandomState",
+    })
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        aliases = _collect_import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve_call(node.func, aliases)
+            if dotted is None:
+                continue
+            seeded = bool(node.args or node.keywords)
+            if dotted.startswith("random."):
+                tail = dotted[len("random."):]
+                if tail == "Random":
+                    if not seeded:
+                        yield self.finding(
+                            path, node,
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        path, node,
+                        f"random.{tail}() uses the global RNG; use a local "
+                        "seeded random.Random(seed) instead",
+                    )
+            elif dotted.startswith("numpy.random."):
+                tail = dotted[len("numpy.random."):]
+                if tail in self._NUMPY_SEEDED:
+                    if not seeded:
+                        yield self.finding(
+                            path, node,
+                            f"numpy.random.{tail}() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        path, node,
+                        f"numpy.random.{tail}() uses numpy's global RNG; "
+                        "use np.random.default_rng(seed)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RA103 — container mutated while iterated
+# ----------------------------------------------------------------------
+@register_rule
+class MutateWhileIterateRule(LintRule):
+    """``for x in c: c.mutate(...)`` — the trie-rebucketing bug shape."""
+
+    code = "RA103"
+    title = "container mutated during iteration"
+
+    _MUTATORS = frozenset({
+        "append", "extend", "insert", "remove", "pop", "popitem",
+        "clear", "add", "discard", "update", "setdefault",
+    })
+    _VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                yield from self._check_loop(node, path)
+
+    def _iterated_container(self, iter_node: ast.AST) -> "tuple[str, ...] | None":
+        # `for x in c` — or `for k, v in c.items()` and friends, which
+        # iterate a live view of `c`
+        key = _expr_key(iter_node)
+        if key is not None:
+            return key
+        if (isinstance(iter_node, ast.Call)
+                and not iter_node.args and not iter_node.keywords
+                and isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr in self._VIEW_METHODS):
+            return _expr_key(iter_node.func.value)
+        return None
+
+    def _check_loop(self, loop: ast.For, path: str) -> Iterator[Finding]:
+        container = self._iterated_container(loop.iter)
+        if container is None:
+            return
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in self._MUTATORS
+                        and _expr_key(node.func.value) == container):
+                    yield self.finding(
+                        path, node,
+                        f"{'.'.join(container)}.{node.func.attr}() mutates "
+                        "the container being iterated; iterate over "
+                        f"list({'.'.join(container)}) or collect changes "
+                        "and apply after the loop",
+                    )
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Subscript)
+                                and _expr_key(target.value) == container):
+                            yield self.finding(
+                                path, node,
+                                f"del {'.'.join(container)}[...] mutates the "
+                                "container being iterated",
+                            )
+
+
+# ----------------------------------------------------------------------
+# RA104 — swallowed errors
+# ----------------------------------------------------------------------
+@register_rule
+class SwallowedErrorRule(LintRule):
+    """Bare ``except:`` and silently-passed broad/contract exceptions."""
+
+    code = "RA104"
+    title = "bare except / swallowed UnsupportedOperationError"
+
+    _BROAD = frozenset({"UnsupportedOperationError", "Exception", "BaseException"})
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    path, node,
+                    "bare except: catches everything including SystemExit; "
+                    "name the exception (repro.errors has the hierarchy)",
+                )
+                continue
+            caught = self._caught_names(node.type)
+            if caught & self._BROAD and self._is_silent(node.body):
+                yield self.finding(
+                    path, node,
+                    f"silently swallowing {sorted(caught & self._BROAD)}: an "
+                    "index's UnsupportedOperationError is a contract signal, "
+                    "not noise — handle it or let it propagate",
+                )
+
+    @staticmethod
+    def _caught_names(type_node: ast.AST) -> frozenset[str]:
+        names = set()
+        for node in ast.walk(type_node):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+        return frozenset(names)
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)):
+                continue  # docstring or `...`
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# RA105 — wall-clock measurement
+# ----------------------------------------------------------------------
+@register_rule
+class WallClockRule(LintRule):
+    """``time.time()`` outside the sanctioned timer module."""
+
+    code = "RA105"
+    title = "time.time() used for measurement"
+
+    def applies_to(self, path: PurePath) -> bool:
+        # repro/bench/timer.py is the one sanctioned timing module
+        return not (path.name == "timer.py" and "bench" in path.parts)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        aliases = _collect_import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _resolve_call(node.func, aliases)
+            if dotted == "time.time":
+                yield self.finding(
+                    path, node,
+                    "time.time() is wall-clock-of-day, not an interval "
+                    "timer; use time.perf_counter() or "
+                    "repro.bench.timer.time_callable",
+                )
+
+
+def rule_catalog() -> list[dict]:
+    """Every registered rule as a {code, title, severity} record."""
+    from repro.analysis.engine import all_rules
+
+    return [
+        {"code": rule.code, "title": rule.title,
+         "severity": str(rule.severity)}
+        for rule in all_rules()
+    ]

@@ -39,6 +39,16 @@ def registered_indexes() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def registered_factories() -> dict[str, Callable[..., TupleIndex]]:
+    """Snapshot of the registry (name → factory) for introspection.
+
+    The contract checker (:mod:`repro.analysis.contracts`) walks this to
+    verify every registered class against the §4.1 plug-in contract; the
+    copy keeps callers from mutating the live registry.
+    """
+    return dict(_REGISTRY)
+
+
 def prefix_capable_indexes() -> list[str]:
     """Names of registered indexes that support prefix operations.
 

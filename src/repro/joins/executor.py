@@ -20,8 +20,10 @@ binary vs generic, §6/[22]).
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping, Sequence
 
+from repro.analysis.plancheck import check_plan
 from repro.core.adapter import IndexAdapter
 from repro.core.config import SonicConfig
 from repro.errors import ConfigurationError, QueryError
@@ -40,6 +42,15 @@ from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 
 ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog", "recursive", "auto")
+
+
+def _debug_enabled(debug: "bool | None") -> bool:
+    """Resolve the debug flag: explicit argument wins, else ``REPRO_DEBUG``."""
+    if debug is not None:
+        return debug
+    return os.environ.get("REPRO_DEBUG", "").strip().lower() not in (
+        "", "0", "false", "no", "off",
+    )
 
 
 def resolve_relations(query: JoinQuery,
@@ -109,6 +120,7 @@ def join(query: "JoinQuery | str",
          materialize: bool = False,
          dynamic_seed: bool = True,
          binary_order: Sequence[str] | None = None,
+         debug: "bool | None" = None,
          **index_kwargs) -> JoinResult:
     """Plan, build and execute a join query; returns a :class:`JoinResult`.
 
@@ -121,6 +133,12 @@ def join(query: "JoinQuery | str",
     order), ``dynamic_seed`` ablates the AGM-guided anchor selection,
     ``binary_order`` pins the binary pipeline's join order (Fig 1's
     order-sensitivity axis).
+
+    ``debug`` (default: the ``REPRO_DEBUG`` environment variable) runs the
+    static plan validator (:mod:`repro.analysis.plancheck`) on the
+    resolved plan before execution, raising
+    :class:`~repro.errors.PlanValidationError` instead of silently
+    executing a malformed plan.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -128,7 +146,10 @@ def join(query: "JoinQuery | str",
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
+    debug = _debug_enabled(debug)
     relations = resolve_relations(query, source)
+    if debug:
+        check_plan(query, relations=relations)
 
     if algorithm == "auto":
         stats = Statistics.collect(relations.values())
@@ -141,6 +162,8 @@ def join(query: "JoinQuery | str",
         return result
 
     total = tuple(order) if order else connectivity_order(query)
+    if debug:
+        check_plan(query, order=total)
 
     if algorithm == "hashtrie":
         driver = HashTrieJoin(query, relations, order=total, **index_kwargs)

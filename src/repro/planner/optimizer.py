@@ -100,11 +100,11 @@ def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
                 del edges[name]
                 changed = True
                 continue
-            for other, other_attrs in edges.items():
-                if other != name and attrs <= other_attrs:
-                    del edges[name]
-                    changed = True
-                    break
+            absorbed = any(other != name and attrs <= other_attrs
+                           for other, other_attrs in edges.items())
+            if absorbed:
+                del edges[name]
+                changed = True
     if not edges:
         return True
     if len(edges) == 1:

@@ -1,0 +1,35 @@
+"""Fixture: a clean file — seeded RNGs, monotonic timing, suppressions.
+
+The analyzer must produce zero findings here; the suppressed lines prove
+``# repro: noqa[RULE]`` works.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def seeded_things(seed):
+    rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    return rng.randrange(10), np_rng.integers(0, 10)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def deliberately_suppressed():
+    stamp = time.time()  # repro: noqa[RA105] -- log timestamp, not a measurement
+    jitter = random.random()  # repro: noqa
+    return stamp, jitter
+
+
+def safe_iteration(nodes):
+    for node in list(nodes):
+        if node is None:
+            nodes.remove(node)
+    return nodes

@@ -1,0 +1,17 @@
+"""Fixture: planted RA104 — bare except and swallowed contract errors."""
+
+from repro.errors import UnsupportedOperationError
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # planted RA104: bare except
+        return None
+
+
+def ignore_contract(index, prefix):
+    try:
+        return index.count_prefix(prefix)
+    except UnsupportedOperationError:  # planted RA104: swallowed signal
+        pass

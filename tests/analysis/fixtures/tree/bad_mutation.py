@@ -1,0 +1,14 @@
+"""Fixture: planted RA103 — container mutated while iterated."""
+
+
+def prune(nodes):
+    for node in nodes:
+        if node.dead:
+            nodes.remove(node)  # planted RA103
+    return nodes
+
+
+def rebucket(children):
+    for key, child in children.items():
+        if child.overflow:
+            children.update(child.split())  # planted RA103 (dict view)

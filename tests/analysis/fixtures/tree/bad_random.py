@@ -1,0 +1,12 @@
+"""Fixture: planted RA102 — global / unseeded RNG calls."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    jitter = random.random()           # planted RA102: global RNG
+    noise = np.random.rand(4)          # planted RA102: numpy global RNG
+    rng = np.random.default_rng()      # planted RA102: unseeded generator
+    return jitter, noise, rng

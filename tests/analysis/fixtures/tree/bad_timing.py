@@ -1,0 +1,9 @@
+"""Fixture: planted RA105 — wall-clock measurement with time.time()."""
+
+import time
+
+
+def measure(fn):
+    start = time.time()  # planted RA105
+    fn()
+    return time.time() - start  # planted RA105

@@ -1,0 +1,8 @@
+"""Fixture: planted RA101 — builtin hash() inside an indexes/ directory.
+
+Never imported; only scanned by the lint engine in tests.
+"""
+
+
+def bucket_of(key, capacity):
+    return hash(key) % capacity  # planted RA101

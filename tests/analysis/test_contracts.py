@@ -1,0 +1,146 @@
+"""Contract checker: the live registry passes, broken classes are flagged."""
+
+from collections.abc import Iterator
+
+import pytest
+
+from repro.analysis.contracts import check_class, check_registry
+from repro.errors import UnsupportedOperationError
+from repro.indexes.base import PointIndex, TupleIndex
+
+
+class TestLiveRegistry:
+    def test_all_registered_indexes_honor_the_contract(self):
+        findings = check_registry()
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_registry_snapshot_is_a_copy(self):
+        from repro.indexes.registry import registered_factories, registered_indexes
+
+        snapshot = registered_factories()
+        snapshot.clear()
+        assert registered_indexes()  # live registry untouched
+
+
+# ----------------------------------------------------------------------
+# Deliberately broken classes (defined at module level so inspect can
+# read their source — the RA203 check is AST-based).
+# ----------------------------------------------------------------------
+class LyingPointIndex(TupleIndex):
+    """Claims no prefix support but serves (wrong) prefix answers."""
+
+    NAME = "lying"
+    SUPPORTS_PREFIX = False
+
+    def insert(self, row: tuple) -> None:
+        pass
+
+    def contains(self, row: tuple) -> bool:
+        return False
+
+    def prefix_lookup(self, prefix: tuple) -> Iterator[tuple]:
+        return iter(())  # violates RA203: should raise
+
+
+class NamelessIndex(PointIndex):
+    """Forgets to declare its own NAME."""
+
+    def insert(self, row: tuple) -> None:
+        pass
+
+    def contains(self, row: tuple) -> bool:
+        return False
+
+
+class HollowPrefixIndex(TupleIndex):
+    """Claims prefix support but inherits the raising base methods."""
+
+    NAME = "hollow"
+    SUPPORTS_PREFIX = True
+
+    def insert(self, row: tuple) -> None:
+        pass
+
+    def contains(self, row: tuple) -> bool:
+        return False
+
+
+class AbstractLeftover(TupleIndex):
+    """Leaves the abstract surface unimplemented."""
+
+    NAME = "leftover"
+
+    def insert(self, row: tuple) -> None:
+        pass
+    # contains() missing → still abstract
+
+
+class HonestPointIndex(PointIndex):
+    """A compliant point-only structure (control case)."""
+
+    NAME = "honest"
+
+    def insert(self, row: tuple) -> None:
+        pass
+
+    def contains(self, row: tuple) -> bool:
+        return False
+
+    def count_prefix(self, prefix: tuple) -> int:
+        raise UnsupportedOperationError("honest refusal")
+
+
+def codes(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestBrokenClasses:
+    def test_false_prefix_flag_with_real_implementation(self):
+        assert "RA203" in codes(check_class("lying", LyingPointIndex))
+
+    def test_missing_name(self):
+        assert "RA202" in codes(check_class("nameless", NamelessIndex))
+
+    def test_name_registry_mismatch(self):
+        assert "RA202" in codes(check_class("other", LyingPointIndex))
+
+    def test_true_prefix_flag_without_implementation(self):
+        found = codes(check_class("hollow", HollowPrefixIndex))
+        assert "RA204" in found
+
+    def test_unimplemented_abstract_surface(self):
+        assert "RA201" in codes(check_class("leftover", AbstractLeftover))
+
+    def test_compliant_point_index_passes(self):
+        assert check_class("honest", HonestPointIndex) == []
+
+    def test_broken_registry_mapping(self):
+        findings = check_registry({"lying": LyingPointIndex})
+        assert "RA203" in codes(findings)
+
+    def test_duplicate_names_across_registry(self):
+        findings = check_registry({
+            "honest": HonestPointIndex,
+            "alias2": HonestPointIndex,
+        })
+        # registered under two keys: at least one NAME/key mismatch
+        assert "RA202" in codes(findings)
+
+
+class TestRegistryRoundTrip:
+    def test_registering_a_compliant_class_stays_clean(self):
+        from repro.errors import ConfigurationError
+        from repro.indexes.registry import register_index, registered_factories
+
+        register_index("honest", HonestPointIndex)
+        try:
+            findings = check_registry()
+            assert findings == [], "\n".join(f.render() for f in findings)
+        finally:
+            # restore the registry for other tests
+            with pytest.raises(ConfigurationError):
+                register_index("honest", HonestPointIndex)
+            from repro.indexes.registry import _REGISTRY
+
+            _REGISTRY.pop("honest", None)
+        assert "honest" not in registered_factories()

@@ -1,0 +1,106 @@
+"""Each RA1xx rule fires on its planted fixture and stays quiet on clean code."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_file, analyze_paths, analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+TREE = FIXTURES / "tree"
+
+
+def rules_found(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestPlantedViolations:
+    def test_ra101_builtin_hash_in_indexes_dir(self):
+        findings = analyze_file(TREE / "indexes" / "bad_hashing.py")
+        assert rules_found(findings) == {"RA101"}
+        assert findings[0].line == 8
+
+    def test_ra101_scoped_to_index_and_core_dirs(self):
+        # the same source outside indexes//core/ must not fire
+        source = (TREE / "indexes" / "bad_hashing.py").read_text()
+        findings = analyze_source(source, "somewhere/else/hashing_user.py")
+        assert findings == []
+
+    def test_ra102_unseeded_random(self):
+        findings = analyze_file(TREE / "bad_random.py")
+        assert rules_found(findings) == {"RA102"}
+        assert len(findings) == 3  # global, numpy-global, unseeded default_rng
+
+    def test_ra103_mutation_while_iterating(self):
+        findings = analyze_file(TREE / "bad_mutation.py")
+        assert rules_found(findings) == {"RA103"}
+        assert len(findings) == 2  # list.remove and dict-view update
+
+    def test_ra104_bare_and_swallowed_except(self):
+        findings = analyze_file(TREE / "bad_except.py")
+        assert rules_found(findings) == {"RA104"}
+        assert len(findings) == 2
+
+    def test_ra105_wall_clock(self):
+        findings = analyze_file(TREE / "bad_timing.py")
+        assert rules_found(findings) == {"RA105"}
+        assert len(findings) == 2
+
+    def test_whole_fixture_tree_covers_every_rule(self):
+        findings = analyze_paths([TREE])
+        assert {"RA101", "RA102", "RA103", "RA104", "RA105"} <= rules_found(findings)
+
+
+class TestCleanCode:
+    def test_clean_fixture_has_no_findings(self):
+        assert analyze_paths([FIXTURES / "clean"]) == []
+
+    def test_seeded_rng_is_fine(self):
+        source = "import random\nrng = random.Random(7)\n"
+        assert analyze_source(source, "src/module.py") == []
+
+    def test_seeded_default_rng_is_fine(self):
+        source = "import numpy as np\nrng = np.random.default_rng(3)\n"
+        assert analyze_source(source, "src/module.py") == []
+
+    def test_iterating_a_copy_is_fine(self):
+        source = (
+            "def prune(nodes):\n"
+            "    for node in list(nodes):\n"
+            "        nodes.remove(node)\n"
+        )
+        assert analyze_source(source, "src/module.py") == []
+
+    def test_perf_counter_is_fine(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert analyze_source(source, "src/module.py") == []
+
+    def test_timer_module_exempt_from_ra105(self):
+        source = "import time\nstart = time.time()\n"
+        assert analyze_source(source, "src/repro/bench/timer.py") == []
+        assert rules_found(
+            analyze_source(source, "src/repro/bench/harness.py")) == {"RA105"}
+
+    def test_rng_method_named_random_not_confused(self):
+        # rng.random() is a *seeded generator method*, not the global module
+        source = (
+            "import random\n"
+            "rng = random.Random(1)\n"
+            "value = rng.random()\n"
+        )
+        assert analyze_source(source, "src/module.py") == []
+
+
+class TestEngineBehaviour:
+    def test_syntax_error_reported_as_ra001(self):
+        findings = analyze_source("def broken(:\n", "src/module.py")
+        assert rules_found(findings) == {"RA001"}
+
+    def test_findings_sorted_by_location(self):
+        findings = analyze_paths([TREE])
+        assert findings == sorted(findings)
+
+    def test_rule_filter(self):
+        from repro.analysis import select_rules
+
+        only = select_rules(["RA102"])
+        findings = analyze_paths([TREE], rules=only)
+        assert rules_found(findings) == {"RA102"}

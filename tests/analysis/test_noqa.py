@@ -1,0 +1,51 @@
+"""Suppression syntax: # repro: noqa[RULE] and the blanket form."""
+
+from repro.analysis import analyze_source
+from repro.analysis.noqa import BLANKET, is_suppressed, line_suppressions
+
+
+class TestParsing:
+    def test_rule_list(self):
+        table = line_suppressions("x = 1  # repro: noqa[RA101, RA105]\n")
+        assert table == {1: frozenset({"RA101", "RA105"})}
+
+    def test_blanket(self):
+        table = line_suppressions("x = 1  # repro: noqa\n")
+        assert table[1] is BLANKET
+
+    def test_case_insensitive_codes(self):
+        table = line_suppressions("x = 1  # repro: noqa[ra102]\n")
+        assert is_suppressed(table, 1, "RA102")
+
+    def test_unrelated_comments_ignored(self):
+        assert line_suppressions("x = 1  # just a comment\n") == {}
+        assert line_suppressions("x = 1  # noqa\n") == {}  # flake8 form ≠ ours
+
+    def test_only_the_annotated_line(self):
+        table = line_suppressions("x = 1  # repro: noqa[RA101]\ny = 2\n")
+        assert is_suppressed(table, 1, "RA101")
+        assert not is_suppressed(table, 2, "RA101")
+
+
+class TestEndToEnd:
+    def test_suppressed_finding_dropped(self):
+        source = (
+            "import time\n"
+            "start = time.time()  # repro: noqa[RA105] -- timestamp only\n"
+        )
+        assert analyze_source(source, "src/module.py") == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "start = time.time()  # repro: noqa[RA101]\n"
+        )
+        findings = analyze_source(source, "src/module.py")
+        assert [f.rule for f in findings] == ["RA105"]
+
+    def test_blanket_suppresses_everything(self):
+        source = (
+            "import time\n"
+            "start = time.time()  # repro: noqa\n"
+        )
+        assert analyze_source(source, "src/module.py") == []

@@ -1,0 +1,116 @@
+"""Plan validator: attribute cover, γ permutation, AGM feasibility, schemas."""
+
+import pytest
+
+from repro.analysis.plancheck import check_plan, validate_plan
+from repro.errors import PlanValidationError, QueryError
+from repro.planner import parse_query, total_order
+from repro.planner.qptree import connectivity_order
+from repro.storage.relation import Relation
+
+TRIANGLE = "E1=E(a,b), E2=E(b,c), E3=E(c,a)"
+
+
+def codes(issues) -> set[str]:
+    return {issue.code for issue in issues}
+
+
+class TestAttributeCover:
+    def test_sound_query_has_no_issues(self):
+        assert validate_plan(parse_query(TRIANGLE)) == []
+
+    def test_uncovered_required_attribute_rejected(self):
+        query = parse_query(TRIANGLE)
+        issues = validate_plan(query, required_attributes=("a", "b", "z"))
+        assert codes(issues) == {"RA301"}
+        assert "z" in issues[0].message
+
+    def test_check_plan_raises(self):
+        query = parse_query(TRIANGLE)
+        with pytest.raises(PlanValidationError, match="RA301"):
+            check_plan(query, required_attributes=("nope",))
+
+    def test_plan_validation_error_is_a_query_error(self):
+        assert issubclass(PlanValidationError, QueryError)
+
+
+class TestTotalOrder:
+    def test_derived_orders_are_valid_permutations(self):
+        query = parse_query(TRIANGLE)
+        assert validate_plan(query, order=total_order(query)) == []
+        assert validate_plan(query, order=connectivity_order(query)) == []
+
+    def test_missing_attribute(self):
+        issues = validate_plan(parse_query(TRIANGLE), order=("a", "b"))
+        assert codes(issues) == {"RA302"}
+
+    def test_stray_attribute(self):
+        issues = validate_plan(parse_query(TRIANGLE),
+                               order=("a", "b", "c", "d"))
+        assert codes(issues) == {"RA302"}
+
+    def test_duplicate_attribute(self):
+        issues = validate_plan(parse_query(TRIANGLE),
+                               order=("a", "b", "b", "c"))
+        assert codes(issues) == {"RA302"}
+
+
+class TestCoverWeights:
+    def test_triangle_half_weights_feasible(self):
+        query = parse_query(TRIANGLE)
+        weights = {"E1": 0.5, "E2": 0.5, "E3": 0.5}
+        assert validate_plan(query, weights=weights) == []
+
+    def test_undercovered_vertex(self):
+        query = parse_query(TRIANGLE)
+        weights = {"E1": 0.5, "E2": 0.25, "E3": 0.0}
+        issues = validate_plan(query, weights=weights)
+        assert codes(issues) == {"RA303"}
+
+    def test_negative_weight(self):
+        query = parse_query(TRIANGLE)
+        weights = {"E1": 1.5, "E2": 1.5, "E3": -0.5}
+        assert "RA303" in codes(validate_plan(query, weights=weights))
+
+    def test_unknown_edge(self):
+        query = parse_query(TRIANGLE)
+        weights = {"E1": 1.0, "E2": 1.0, "E3": 1.0, "E9": 0.1}
+        assert "RA303" in codes(validate_plan(query, weights=weights))
+
+    def test_lp_solution_passes(self):
+        from repro.planner import Hypergraph, fractional_cover
+
+        query = parse_query(TRIANGLE)
+        cover = fractional_cover(Hypergraph.from_query(query),
+                                 {a.alias: 100 for a in query})
+        assert validate_plan(query, weights=cover.weights) == []
+
+
+class TestRelations:
+    def test_consistent_relations_pass(self):
+        query = parse_query(TRIANGLE)
+        edges = Relation("E", ("src", "dst"), [(0, 1), (1, 2), (2, 0)])
+        from repro.joins.executor import resolve_relations
+
+        relations = resolve_relations(
+            query, {"E1": edges, "E2": edges, "E3": edges})
+        assert validate_plan(query, relations=relations) == []
+
+    def test_missing_relation(self):
+        query = parse_query(TRIANGLE)
+        issues = validate_plan(query, relations={})
+        assert codes(issues) == {"RA304"}
+        assert len(issues) == 3
+
+    def test_arity_mismatch(self):
+        query = parse_query(TRIANGLE)
+        wide = Relation("E", ("a", "b", "x"), [(0, 1, 2)])
+        issues = validate_plan(query, relations={"E1": wide})
+        assert "RA304" in codes(issues)
+
+    def test_schema_attribute_mismatch(self):
+        query = parse_query(TRIANGLE)
+        off = Relation("E", ("p", "q"), [(0, 1)])
+        issues = validate_plan(query, relations={"E1": off, "E2": off,
+                                                 "E3": off})
+        assert codes(issues) == {"RA304"}

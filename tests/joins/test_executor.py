@@ -80,3 +80,52 @@ class TestTriangleCount:
         truth = triangle_count_truth(edges)
         for algorithm in ("generic", "binary", "hashtrie", "leapfrog"):
             assert triangle_count(edges, algorithm=algorithm) == truth
+
+
+class TestDebugMode:
+    """join(debug=True) runs the static plan validator before executing."""
+
+    def test_debug_join_still_correct(self, edges):
+        truth = triangle_count_truth(edges)
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges}, debug=True)
+        assert result.count == truth
+
+    def test_debug_rejects_bad_order(self, edges):
+        from repro.errors import PlanValidationError
+
+        with pytest.raises(PlanValidationError, match="RA302"):
+            join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                 {"E1": edges, "E2": edges, "E3": edges},
+                 order=("a", "b"), debug=True)
+
+    def test_without_debug_bad_order_fails_later_or_not_at_all(self, edges):
+        # the non-debug path must not import-time-validate: it raises the
+        # adapter's SchemaError instead (pre-existing behaviour)
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                 {"E1": edges, "E2": edges, "E3": edges},
+                 order=("a", "b"), debug=False)
+
+    def test_env_variable_enables_debug(self, edges, monkeypatch):
+        from repro.errors import PlanValidationError
+
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(PlanValidationError):
+            join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                 {"E1": edges, "E2": edges, "E3": edges},
+                 order=("a", "b"))
+
+    def test_env_variable_off_values(self, edges, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "0")
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges})
+        assert result.count == triangle_count_truth(edges)
+
+    def test_debug_binary_path(self, edges):
+        result = join("E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                      {"E1": edges, "E2": edges, "E3": edges},
+                      algorithm="binary", debug=True)
+        assert result.count == triangle_count_truth(edges)
