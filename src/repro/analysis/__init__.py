@@ -4,8 +4,11 @@ Three engines, one diagnostic currency (:class:`~repro.analysis.findings.Finding
 
 1. **Lint engine** (:mod:`~repro.analysis.engine`, :mod:`~repro.analysis.rules`)
    — AST rules RA101–RA105 enforcing deterministic hashing, seeded RNGs,
-   iteration safety, loud error handling and sanctioned timers.  Findings
-   are suppressible per line with ``# repro: noqa[RULE]``.
+   iteration safety, loud error handling and sanctioned timers, plus the
+   dataflow family RA401–RA504 (:mod:`~repro.analysis.dataflow`,
+   :mod:`~repro.analysis.rules_dataflow`): CFG/fixpoint typestate checks
+   of the cursor protocol and hot-loop hygiene.  Findings are
+   suppressible per line with ``# repro: noqa[RULE]``.
 2. **Contract checker** (:mod:`~repro.analysis.contracts`) — RA201–RA205,
    introspecting :mod:`repro.indexes.registry` for the paper's §4.1
    ``TupleIndex``/``PrefixCursor`` plug-in contract.
@@ -33,9 +36,15 @@ from repro.analysis.engine import (
 )
 from repro.analysis.findings import Finding, Severity, has_errors
 from repro.analysis.plancheck import PlanIssue, check_plan, validate_plan
-from repro.analysis.reporters import render_json, render_text, summarize
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    summarize,
+)
 
 import repro.analysis.rules  # noqa: F401  (importing registers RA101–RA105)
+import repro.analysis.rules_dataflow  # noqa: F401  (registers RA401–RA504)
 
 __all__ = [
     "Finding",
@@ -51,6 +60,7 @@ __all__ = [
     "has_errors",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
     "summarize",

@@ -1,0 +1,124 @@
+"""Finding baselines: adopt pre-existing findings, gate only the diff.
+
+Turning a new rule family on over an existing codebase surfaces debt
+that cannot all be paid down in the same change.  The baseline makes
+that debt *visible but non-blocking*: ``analysis-baseline.json`` is a
+committed multiset of ``(path, rule, message)`` triples; findings that
+match an entry are demoted to notes (tagged ``[baselined]``), anything
+*not* in the baseline gates CI — including warnings, so new debt cannot
+accrete silently.  Stale entries (baselined findings that no longer
+occur, e.g. because someone fixed them) are reported as **RA002** notes
+so the file shrinks instead of fossilising.
+
+Workflow::
+
+    python -m repro.analysis --write-baseline analysis-baseline.json
+    git add analysis-baseline.json            # adopt current findings
+    python -m repro.analysis --baseline analysis-baseline.json  # CI gate
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+from pathlib import Path, PurePath
+
+from repro.analysis.findings import Finding, Severity
+
+#: rule code for stale baseline entries (RA001 is the parse-error code)
+STALE_BASELINE_RULE = "RA002"
+
+_VERSION = 1
+
+
+def _key(path: str, rule: str, message: str) -> tuple[str, str, str]:
+    # normalised posix-relative path so the baseline is OS-independent
+    return (PurePath(path).as_posix(), rule, message)
+
+
+def load_baseline(path: "str | Path") -> Counter:
+    """The committed baseline as a multiset of (path, rule, message)."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format (want version {_VERSION})"
+        )
+    baseline: Counter = Counter()
+    for entry in raw.get("entries", []):
+        key = _key(entry["path"], entry["rule"], entry["message"])
+        baseline[key] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(findings: Sequence[Finding], path: "str | Path") -> int:
+    """Adopt every warning/error into a fresh baseline file.
+
+    Notes are not baselined (they never gate) and parse errors are not
+    adoptable (a file that stops parsing must always fail).  Returns the
+    number of entries written.
+    """
+    counts: Counter = Counter()
+    for finding in findings:
+        if finding.severity < Severity.WARNING:
+            continue
+        if finding.rule in ("RA001", STALE_BASELINE_RULE):
+            continue
+        counts[_key(finding.path, finding.rule, finding.message)] += 1
+    entries = [
+        {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+        for key, count in sorted(counts.items())
+    ]
+    payload = {
+        "version": _VERSION,
+        "comment": "Adopted findings: visible as notes, not gating. "
+                   "Regenerate with --write-baseline; fix entries to "
+                   "shrink this file (stale entries surface as RA002).",
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Counter,
+                   baseline_path: str = "analysis-baseline.json",
+                   ) -> list[Finding]:
+    """Demote baselined findings to notes; surface stale entries as RA002.
+
+    Findings are matched against the multiset in sorted (location) order
+    so the outcome is deterministic when a message occurs more often than
+    its baselined count: the first ``count`` occurrences are demoted, the
+    rest gate.
+    """
+    remaining = Counter(baseline)
+    result: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding.path, finding.rule, finding.message)
+        if remaining.get(key, 0) > 0 and finding.severity >= Severity.WARNING:
+            remaining[key] -= 1
+            result.append(Finding(
+                path=finding.path, line=finding.line, column=finding.column,
+                rule=finding.rule, severity=Severity.NOTE,
+                message=f"{finding.message} [baselined]",
+            ))
+        else:
+            result.append(finding)
+    for key, count in sorted(remaining.items()):
+        if count <= 0:
+            continue
+        path, rule, message = key
+        result.append(Finding(
+            path=str(baseline_path), line=1, column=1,
+            rule=STALE_BASELINE_RULE, severity=Severity.NOTE,
+            message=f"stale baseline entry (finding no longer occurs "
+                    f"{count}x): {path}: {rule} {message}",
+        ))
+    result.sort()
+    return result
+
+
+def gates_with_baseline(findings: Sequence[Finding]) -> bool:
+    """CI verdict under a baseline: any non-baselined warning or error
+    fails — new debt must be fixed or explicitly adopted."""
+    return any(f.severity >= Severity.WARNING for f in findings)

@@ -1,0 +1,83 @@
+"""``--changed-only``: restrict the analysis to files touched vs a base.
+
+The full-tree run stays the CI source of truth; this module powers the
+fast local loop (pre-commit hook, editor integration) by intersecting
+the requested paths with ``git diff --name-only <base>`` plus untracked
+files.  The base resolves to the first of ``origin/main`` / ``main`` /
+``HEAD`` that exists, unless overridden with ``--diff-base``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+_FALLBACK_BASES = ("origin/main", "main", "HEAD")
+
+
+class GitError(RuntimeError):
+    """git is unavailable, not a repository, or the base is unknown."""
+
+
+def _git(args: "list[str]", cwd: "Path | None") -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=30, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitError(f"git {' '.join(args)} failed: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise GitError(f"git {' '.join(args)} failed: {detail}")
+    return proc.stdout
+
+
+def resolve_base(base: "str | None", cwd: "Path | None" = None) -> str:
+    """An explicit base verbatim (verified), else the first fallback
+    ref that resolves."""
+    candidates = (base,) if base is not None else _FALLBACK_BASES
+    last_error = "no candidate base ref"
+    for candidate in candidates:
+        try:
+            _git(["rev-parse", "--verify", "--quiet",
+                  f"{candidate}^{{commit}}"], cwd)
+            return candidate
+        except GitError as exc:
+            last_error = str(exc)
+    raise GitError(
+        f"cannot resolve a diff base (tried {', '.join(filter(None, candidates))}): "
+        f"{last_error}"
+    )
+
+
+def changed_files(base: "str | None" = None,
+                  cwd: "Path | None" = None) -> list[Path]:
+    """Paths changed vs ``base`` (committed, staged or unstaged) plus
+    untracked files, relative to the repo toplevel."""
+    top = Path(_git(["rev-parse", "--show-toplevel"], cwd).strip())
+    ref = resolve_base(base, cwd)
+    names = set(_git(["diff", "--name-only", ref], cwd).splitlines())
+    names.update(_git(["ls-files", "--others", "--exclude-standard"],
+                      cwd).splitlines())
+    return [top / name for name in sorted(names) if name]
+
+
+def restrict_to_changed(paths: "list[str]", base: "str | None" = None,
+                        cwd: "Path | None" = None) -> list[Path]:
+    """The changed files that fall under any of the requested ``paths``.
+
+    An empty result is a legitimate outcome (nothing relevant changed) —
+    the caller reports "clean", it does not analyse the full tree.
+    """
+    roots = [Path(p).resolve() for p in paths]
+    selected: list[Path] = []
+    for changed in changed_files(base, cwd):
+        if not changed.exists() or changed.suffix != ".py":
+            continue
+        resolved = changed.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                selected.append(changed)
+                break
+    return selected

@@ -1,15 +1,23 @@
 """``python -m repro.analysis`` — the CI gate.
 
-Lints the given paths with every ``RA1xx`` rule, contract-checks the
-index registry, and exits non-zero when any *error*-severity finding
-survives suppression — which is exactly what ``.github/workflows/ci.yml``
-runs.  Also reachable as ``python -m repro analysis …``.
+Lints the given paths with the full rule registry (syntactic RA1xx and
+dataflow RA4xx/RA5xx), contract-checks the index registry, and exits
+non-zero when any *error*-severity finding survives suppression — which
+is exactly what ``.github/workflows/ci.yml`` runs.  Also reachable as
+``python -m repro analysis …``.
+
+With ``--baseline`` the gate tightens: any warning-or-worse finding not
+adopted in the committed ``analysis-baseline.json`` fails, so new debt
+cannot land silently while the adopted debt stays visible as notes.
 
 Examples::
 
     python -m repro.analysis                      # lint src + benchmarks
     python -m repro.analysis src --json           # machine-readable report
-    python -m repro.analysis --rule RA102 src     # a single rule
+    python -m repro.analysis --sarif > out.sarif  # GitHub code scanning
+    python -m repro.analysis --rule RA401 src     # a single rule
+    python -m repro.analysis --baseline analysis-baseline.json
+    python -m repro.analysis --changed-only       # fast pre-commit loop
     python -m repro.analysis --list-rules
 """
 
@@ -20,9 +28,16 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    gates_with_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.changed import GitError, restrict_to_changed
 from repro.analysis.engine import analyze_paths, select_rules
 from repro.analysis.findings import Finding, Severity, has_errors
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 DEFAULT_PATHS = ("src", "benchmarks")
 
@@ -31,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static analysis for the SonicJoin reproduction: "
-                    "lint rules, index-contract checks and plan validation.",
+                    "lint rules, dataflow typestate/hot-loop checks, "
+                    "index-contract checks and plan validation.",
     )
     parser.add_argument(
         "paths", nargs="*", default=list(DEFAULT_PATHS),
@@ -39,11 +55,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--rule", action="append", dest="rules", metavar="CODE",
-        help="restrict to specific rule codes (repeatable, e.g. --rule RA102)",
+        help="restrict to specific rule codes (repeatable, e.g. --rule RA401)",
     )
-    parser.add_argument(
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
         "--json", action="store_true",
         help="emit a JSON report instead of compiler-style text",
+    )
+    output.add_argument(
+        "--sarif", action="store_true",
+        help="emit a SARIF 2.1.0 log (GitHub code scanning upload format)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="demote findings adopted in FILE to notes and gate on "
+             "anything new (warnings included); stale entries surface "
+             "as RA002 notes",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="adopt every current warning/error into FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="restrict to files changed vs the diff base "
+             "(git diff + untracked), for the fast pre-commit loop",
+    )
+    parser.add_argument(
+        "--diff-base", metavar="REF",
+        help="base ref for --changed-only (default: origin/main, then "
+             "main, then HEAD); implies --changed-only",
     )
     parser.add_argument(
         "--no-contracts", action="store_true",
@@ -104,13 +145,43 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
-    findings = analyze_paths(options.paths, rules=rules)
+    if options.changed_only or options.diff_base is not None:
+        try:
+            targets: "list" = restrict_to_changed(
+                options.paths, options.diff_base)
+        except GitError as exc:
+            parser.error(str(exc))
+    else:
+        targets = list(options.paths)
+
+    findings = analyze_paths(targets, rules=rules)
     if not options.no_contracts:
         findings.extend(_contract_findings(options.rules))
     findings.sort()
 
-    print(render_json(findings) if options.json else render_text(findings))
-    return 1 if has_errors(findings) else 0
+    if options.write_baseline:
+        count = write_baseline(findings, options.write_baseline)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {options.write_baseline}")
+        return 0
+
+    gate = has_errors
+    if options.baseline:
+        try:
+            baseline = load_baseline(options.baseline)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"cannot load baseline {options.baseline}: {exc}")
+        findings = apply_baseline(findings, baseline,
+                                  baseline_path=options.baseline)
+        gate = gates_with_baseline
+
+    if options.sarif:
+        print(render_sarif(findings))
+    elif options.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if gate(findings) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

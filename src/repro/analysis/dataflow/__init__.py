@@ -1,0 +1,41 @@
+"""Dataflow analysis over Python functions: CFG + fixpoint + rule domains.
+
+The paper's C++ framework enforces the index/cursor protocol at compile
+time through templates (§4.1); PR 1's AST lint recovered only the
+single-statement slice of that.  This package recovers the *stateful*
+slice: a control-flow-graph builder (:mod:`~repro.analysis.dataflow.cfg`),
+a generic worklist fixpoint solver
+(:mod:`~repro.analysis.dataflow.solver`), and the analyses layered on
+top:
+
+* :mod:`~repro.analysis.dataflow.typestate` — abstract interpretation of
+  :class:`~repro.indexes.base.PrefixCursor` /
+  :class:`~repro.indexes.sorted_trie.TrieIterator` /
+  :class:`~repro.indexes.base.TupleIndex` locals (rules RA401–RA404:
+  use-before-open, depth discipline, prefix calls on point-only flows,
+  mutation-after-build);
+* :mod:`~repro.analysis.dataflow.reaching` — function scopes, a
+  boundness pass (use-before-def, RA504) and a liveness pass (dead
+  stores, RA503);
+* :mod:`~repro.analysis.dataflow.hotloop` — loop-nest hazard detection
+  for the join/index hot paths (RA501 allocation, RA502 linear scans).
+
+Everything is stdlib-only (``ast``); the registered lint rules that feed
+these analyses into the engine live in
+:mod:`repro.analysis.rules_dataflow`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.cfg import CFG, Edge, Node, build_cfg, function_cfgs
+from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
+
+__all__ = [
+    "CFG",
+    "Edge",
+    "ForwardAnalysis",
+    "Node",
+    "build_cfg",
+    "function_cfgs",
+    "solve_forward",
+]

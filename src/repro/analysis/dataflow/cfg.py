@@ -1,0 +1,270 @@
+"""Control-flow graphs over Python function bodies.
+
+One :class:`CFG` per function: nodes are statement *headers* (a compound
+statement contributes only the part that executes at its own position —
+an ``if``'s test, a ``for``'s target binding — its body becomes separate
+nodes), edges carry an optional branch guard so downstream analyses can
+refine state per branch (``if cursor.try_descend(v):`` means depth+1 on
+the true edge only).
+
+Covered control flow: ``if``/``elif``/``else``, ``while`` (including
+``while True`` with no false exit), ``for``, ``break``/``continue``,
+loop ``else``, early ``return``, ``raise``, ``try``/``except``/``else``/
+``finally`` (every protected statement gets a may-raise edge to each
+handler head), ``with``, ``match`` and ``assert``.  Nested functions and
+classes are opaque single nodes — they get their own CFGs via
+:func:`function_cfgs`.
+
+The construction is the classic dangling-edge walk: each statement list
+is processed against a *frontier* of unconnected out-edges which the next
+node seals.  Unreachable statements (after a ``return``) produce nodes
+with no predecessors, which fixpoint solvers simply never visit — dead
+code cannot raise findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: a dangling out-edge awaiting its destination: (source node, guard, truth)
+_Dangling = "tuple[int, ast.expr | None, bool | None]"
+
+#: node kinds — what the node's `stmt`/`guard` mean to analyses
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+KIND_STMT = "stmt"        # a simple statement, executed atomically
+KIND_TEST = "test"        # a branch condition (guard holds the expression)
+KIND_FORHEAD = "forhead"  # a for loop's per-iteration target binding
+KIND_WITHHEAD = "withhead"  # a with statement's context-manager entry
+KIND_HANDLER = "handler"  # an except clause head (binds the exception name)
+
+
+@dataclass
+class Edge:
+    """One CFG edge; ``guard``/``truth`` describe the branch taken."""
+
+    dst: int
+    guard: "ast.expr | None" = None
+    truth: "bool | None" = None
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement header plus its out-edges."""
+
+    index: int
+    kind: str
+    stmt: "ast.AST | None" = None
+    guard: "ast.expr | None" = None
+    succ: list[Edge] = field(default_factory=list)
+    pred: list[int] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        anchor = self.guard if self.guard is not None else self.stmt
+        return getattr(anchor, "lineno", 1)
+
+    @property
+    def col_offset(self) -> int:
+        anchor = self.guard if self.guard is not None else self.stmt
+        return getattr(anchor, "col_offset", 0)
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph."""
+
+    func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    nodes: list[Node]
+    entry: int
+    exit: int
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def function_cfgs(tree: ast.AST) -> Iterator[CFG]:
+    """CFGs for every function (and method) in a module, nested included."""
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTION_NODES):
+            yield build_cfg(node)
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the CFG of one function definition."""
+    builder = _Builder(func)
+    builder.build()
+    return CFG(func=func, nodes=builder.nodes,
+               entry=builder.entry, exit=builder.exit)
+
+
+class _Builder:
+    """Dangling-edge CFG construction over one function body."""
+
+    def __init__(self, func: "ast.FunctionDef | ast.AsyncFunctionDef"):
+        self.func = func
+        self.nodes: list[Node] = []
+        self.entry = self._make(KIND_ENTRY, func)
+        self.exit = self._make(KIND_EXIT, func)
+        #: stack of (continue-target node, accumulated break frontier)
+        self._loops: list[tuple[int, list]] = []
+        #: stack of active handler-head node lists (innermost last)
+        self._exc: list[list[int]] = []
+
+    # ------------------------------------------------------------------
+    def _make(self, kind: str, stmt: "ast.AST | None" = None,
+              guard: "ast.expr | None" = None) -> int:
+        node = Node(index=len(self.nodes), kind=kind, stmt=stmt, guard=guard)
+        self.nodes.append(node)
+        return node.index
+
+    def _body_node(self, kind: str, stmt: "ast.AST | None" = None,
+                   guard: "ast.expr | None" = None) -> int:
+        """A node that may raise: wired to the innermost handler heads."""
+        index = self._make(kind, stmt, guard)
+        if self._exc:
+            for head in self._exc[-1]:
+                self._connect(index, head, None, None)
+        return index
+
+    def _connect(self, src: int, dst: int, guard, truth) -> None:
+        self.nodes[src].succ.append(Edge(dst, guard, truth))
+        self.nodes[dst].pred.append(src)
+
+    def _seal(self, frontier: list, target: int) -> None:
+        for src, guard, truth in frontier:
+            self._connect(src, target, guard, truth)
+
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        frontier = self._stmts(self.func.body, [(self.entry, None, None)])
+        self._seal(frontier, self.exit)
+
+    def _stmts(self, stmts: list, frontier: list) -> list:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, frontier: list) -> list:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._body_node(KIND_WITHHEAD, stmt)
+            self._seal(frontier, head)
+            return self._stmts(stmt.body, [(head, None, None)])
+        if isinstance(stmt, ast.Return):
+            node = self._body_node(KIND_STMT, stmt)
+            self._seal(frontier, node)
+            self._connect(node, self.exit, None, None)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._body_node(KIND_STMT, stmt)
+            self._seal(frontier, node)
+            if not self._exc:  # no handler in scope: propagates out
+                self._connect(node, self.exit, None, None)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._make(KIND_STMT, stmt)
+            self._seal(frontier, node)
+            if self._loops:
+                self._loops[-1][1].append((node, None, None))
+            else:  # malformed code; keep the graph connected
+                self._connect(node, self.exit, None, None)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._make(KIND_STMT, stmt)
+            self._seal(frontier, node)
+            target = self._loops[-1][0] if self._loops else self.exit
+            self._connect(node, target, None, None)
+            return []
+        if isinstance(stmt, ast.Assert):
+            node = self._body_node(KIND_TEST, stmt, stmt.test)
+            self._seal(frontier, node)
+            if not self._exc:  # a failing assert leaves the function
+                self._connect(node, self.exit, stmt.test, False)
+            return [(node, stmt.test, True)]
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        # simple statements, nested function/class definitions, etc.
+        node = self._body_node(KIND_STMT, stmt)
+        self._seal(frontier, node)
+        return [(node, None, None)]
+
+    # ------------------------------------------------------------------
+    def _if(self, stmt: ast.If, frontier: list) -> list:
+        test = self._body_node(KIND_TEST, stmt, stmt.test)
+        self._seal(frontier, test)
+        out = self._stmts(stmt.body, [(test, stmt.test, True)])
+        if stmt.orelse:
+            out += self._stmts(stmt.orelse, [(test, stmt.test, False)])
+        else:
+            out.append((test, stmt.test, False))
+        return out
+
+    def _while(self, stmt: ast.While, frontier: list) -> list:
+        test = self._body_node(KIND_TEST, stmt, stmt.test)
+        self._seal(frontier, test)
+        self._loops.append((test, []))
+        body_out = self._stmts(stmt.body, [(test, stmt.test, True)])
+        self._seal(body_out, test)
+        _, breaks = self._loops.pop()
+        infinite = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        normal: list = [] if infinite else [(test, stmt.test, False)]
+        if stmt.orelse and normal:
+            normal = self._stmts(stmt.orelse, normal)
+        return normal + breaks
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", frontier: list) -> list:
+        head = self._body_node(KIND_FORHEAD, stmt)
+        self._seal(frontier, head)
+        self._loops.append((head, []))
+        body_out = self._stmts(stmt.body, [(head, None, None)])
+        self._seal(body_out, head)
+        _, breaks = self._loops.pop()
+        normal: list = [(head, None, None)]
+        if stmt.orelse:
+            normal = self._stmts(stmt.orelse, normal)
+        return normal + breaks
+
+    def _try(self, stmt: ast.Try, frontier: list) -> list:
+        # handler heads exist before the body so protected nodes can edge
+        # to them; the heads themselves answer to any *outer* handlers.
+        heads = [self._body_node(KIND_HANDLER, handler)
+                 for handler in stmt.handlers]
+        if heads:
+            self._exc.append(heads)
+        body_out = self._stmts(stmt.body, frontier)
+        if heads:
+            self._exc.pop()
+        if stmt.orelse:
+            body_out = self._stmts(stmt.orelse, body_out)
+        out = list(body_out)
+        for head, handler in zip(heads, stmt.handlers):
+            out += self._stmts(handler.body, [(head, None, None)])
+        if stmt.finalbody:
+            out = self._stmts(stmt.finalbody, out)
+        return out
+
+    def _match(self, stmt: ast.Match, frontier: list) -> list:
+        head = self._body_node(KIND_TEST, stmt, None)
+        self._seal(frontier, head)
+        out: list = []
+        for case in stmt.cases:
+            out += self._stmts(case.body, [(head, None, None)])
+        out.append((head, None, None))  # no case matched
+        return out

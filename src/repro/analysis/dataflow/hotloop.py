@@ -1,0 +1,195 @@
+"""Hot-loop hygiene detection (RA501/RA502).
+
+The paper's per-probe cost argument (§5.2) assumes the inner join loops
+do O(1) work per binding beyond the index operations themselves; a
+Python reproduction silently loses that property the moment someone
+drops a list comprehension or a linear membership test into the probe
+loop.  This module finds the *hot regions* of a module —
+
+* the body of every **innermost** loop (a loop containing no other
+  loop), and
+* the **whole body** of every directly-recursive function (the repo's
+  join drivers recurse per attribute level, so their per-call
+  allocations are per-binding costs even though no syntactic loop
+  encloses them)
+
+— and flags, inside those regions:
+
+* **RA501** — fresh container allocations: list/dict/set/tuple displays
+  and comprehensions, ``list()``/``dict()``/``set()`` calls, and ``+`` /
+  ``+=`` on sequence-valued operands (string or list concatenation
+  allocates a new object per iteration).
+* **RA502** — known-O(n) operations: ``x in <list/tuple display>``,
+  ``sorted(...)`` (allocates *and* sorts per iteration — hoist it or
+  sort in place outside the loop), ``tuple(<generator>)`` /
+  ``list(<generator>)`` materialisation, ``min``/``max``/``sum`` over a
+  fresh iterable, and ``.index()`` / ``.count()`` on sequences.
+
+Both rules are *warnings*: a human must judge whether the allocation is
+on the per-probe path or amortised (e.g. done once per output tuple).
+Suppress deliberate ones with ``# repro: noqa[RA501]`` or adopt them
+into ``analysis-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+_LOOPS = (ast.For, ast.While, ast.AsyncFor)
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_COMPS = (ast.ListComp, ast.SetComp, ast.DictComp)
+_DISPLAYS = (ast.List, ast.Dict, ast.Set)
+
+#: builtin calls that allocate a fresh container
+_ALLOC_CALLS = frozenset({"list", "dict", "set"})
+#: builtin calls that traverse their whole argument
+_LINEAR_CALLS = frozenset({"sorted", "min", "max", "sum", "any", "all"})
+#: sequence methods that scan linearly
+_LINEAR_METHODS = frozenset({"index", "count"})
+
+
+@dataclass(frozen=True)
+class HotRegion:
+    """One hot region: the statements to scan and why they are hot."""
+
+    body: tuple[ast.stmt, ...]
+    reason: str  # "innermost loop" | "recursive function f"
+
+
+def _contains_loop(stmts: "list[ast.stmt] | tuple[ast.stmt, ...]") -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, _LOOPS):
+                return True
+    return False
+
+
+def _is_directly_recursive(func: ast.AST) -> bool:
+    name = func.name
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, _FUNCS) and node.name == name:
+            return False  # shadowed by a nested def of the same name
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and ((isinstance(node.func, ast.Name) and node.func.id == name)
+                     or (isinstance(node.func, ast.Attribute)
+                         and node.func.attr == name
+                         and isinstance(node.func.value, ast.Name)
+                         and node.func.value.id == "self"))):
+            return True
+    return False
+
+
+def hot_regions(tree: ast.AST) -> Iterator[HotRegion]:
+    """Hot regions of a module: innermost loop bodies and the bodies of
+    directly-recursive functions."""
+    for node in ast.walk(tree):
+        if isinstance(node, _LOOPS):
+            body = list(node.body) + list(node.orelse)
+            if not _contains_loop(body):
+                yield HotRegion(tuple(body), "innermost loop")
+        elif isinstance(node, _FUNCS) and _is_directly_recursive(node):
+            yield HotRegion(tuple(node.body),
+                            f"recursive function {node.name}")
+
+
+def _walk_region(body: tuple[ast.stmt, ...]) -> Iterator[ast.AST]:
+    """Walk a hot region without descending into nested function defs
+    (their bodies are separate regions if they qualify on their own)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCS + (ast.Lambda,)):
+                continue
+            stack.append(child)
+
+
+def _describe_alloc(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.ListComp):
+        return "list comprehension allocates a fresh list"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension allocates a fresh set"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension allocates a fresh dict"
+    if isinstance(node, ast.List) and node.elts:
+        return "list display allocates a fresh list"
+    if isinstance(node, ast.Set):
+        return "set display allocates a fresh set"
+    if isinstance(node, ast.Dict) and node.keys:
+        return "dict display allocates a fresh dict"
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _ALLOC_CALLS):
+        return f"{node.func.id}() allocates a fresh container"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        if isinstance(node.left, (ast.List, ast.Tuple)) \
+                or isinstance(node.right, (ast.List, ast.Tuple)):
+            return "sequence concatenation with + copies both operands"
+    if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add) \
+            and isinstance(node.value, (ast.List, ast.Tuple)):
+        return "+= with a sequence literal copies per iteration"
+    return None
+
+
+def _describe_linear(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Compare) \
+            and any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+        for comparator in node.comparators:
+            if isinstance(comparator, (ast.List, ast.Tuple)) \
+                    and len(getattr(comparator, "elts", ())) > 3:
+                return ("membership test against a sequence literal is "
+                        "O(n) per probe; use a frozenset constant")
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return ("sorted() copies and sorts its argument on every "
+                        "iteration; hoist it or sort in place outside the "
+                        "hot region")
+            if func.id in ("tuple", "list") and node.args \
+                    and isinstance(node.args[0], ast.GeneratorExp):
+                return (f"{func.id}(<generator>) materialises the whole "
+                        "stream per iteration")
+            if func.id in _LINEAR_CALLS and node.args \
+                    and isinstance(node.args[0],
+                                   (ast.GeneratorExp, ast.ListComp)):
+                return (f"{func.id}() over a fresh comprehension traverses "
+                        "the whole input per iteration")
+        elif isinstance(func, ast.Attribute) \
+                and func.attr in _LINEAR_METHODS and node.args:
+            return (f".{func.attr}() scans the sequence linearly on every "
+                    "iteration")
+    return None
+
+
+def scan_hot_regions(tree: ast.AST) -> Iterator[tuple[ast.AST, str, str]]:
+    """Yield ``(ast_node, code, message)`` for every RA501/RA502 hit.
+
+    Deduplicates by source position so a statement inside two overlapping
+    hot regions (an innermost loop inside a recursive function) is
+    reported once.
+    """
+    seen: set[tuple[int, int, str]] = set()
+    for region in hot_regions(tree):
+        for node in _walk_region(region.body):
+            alloc = _describe_alloc(node)
+            if alloc is not None:
+                key = (node.lineno, node.col_offset, "RA501")
+                if key not in seen:
+                    seen.add(key)
+                    yield (node, "RA501",
+                           f"{alloc} inside a hot region ({region.reason}); "
+                           "hoist it out of the per-binding path or preallocate")
+            linear = _describe_linear(node)
+            if linear is not None:
+                key = (node.lineno, node.col_offset, "RA502")
+                if key not in seen:
+                    seen.add(key)
+                    yield (node, "RA502",
+                           f"{linear} (hot region: {region.reason})")

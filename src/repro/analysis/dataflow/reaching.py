@@ -1,0 +1,401 @@
+"""Reaching-definitions-family passes: scopes, boundness, liveness.
+
+Three pieces, all per-function and all over the same
+:class:`~repro.analysis.dataflow.cfg.CFG`:
+
+* :class:`FunctionScope` — which names are true locals, which are
+  parameters, which escape into nested functions (closures) and which
+  are declared ``global``/``nonlocal``.  Comprehension targets belong to
+  their own scope and are excluded throughout (Python 3 semantics).
+* :func:`use_before_def` — a forward *boundness* fixpoint (3-value
+  lattice UNBOUND < MAYBE < BOUND per name).  A load of a local that is
+  UNBOUND — no path from entry binds it — is a guaranteed ``NameError``
+  (rule RA504).  MAYBE (bound on some paths) is deliberately not
+  reported: correlated branches make it too false-positive-prone for a
+  CI gate.
+* :func:`dead_stores` — a backward liveness fixpoint.  A store to a
+  local that is not live-out at the storing node can never be read
+  (rule RA503).  Only plain single-name assignments are reported;
+  loop targets, unpacking, augmented targets, ``_``-prefixed names and
+  anything captured by a closure are excluded as idiomatic or unsound
+  to judge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    KIND_ENTRY,
+    KIND_FORHEAD,
+    KIND_HANDLER,
+    KIND_STMT,
+    KIND_TEST,
+    KIND_WITHHEAD,
+    Node,
+)
+from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+# boundness lattice
+UNBOUND = 0
+MAYBE = 1
+BOUND = 2
+
+
+# ----------------------------------------------------------------------
+# Scope discovery
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionScope:
+    """Name classification for one function body."""
+
+    params: frozenset[str]
+    locals: frozenset[str]       # names bound somewhere in the body
+    escaping: frozenset[str]     # referenced from nested function scopes
+    declared: frozenset[str]     # global / nonlocal declarations
+
+    def tracked(self) -> frozenset[str]:
+        """Locals safe to reason about flow-sensitively."""
+        return self.locals - self.declared - self.escaping
+
+
+def _param_names(args: ast.arguments) -> list[str]:
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+class _ScopeCollector(ast.NodeVisitor):
+    """Bound / escaping / declared names of one function, nested scopes cut."""
+
+    def __init__(self) -> None:
+        self.bound: set[str] = set()
+        self.escaping: set[str] = set()
+        self.declared: set[str] = set()
+        self._comp_targets: list[set[str]] = []
+
+    # -- nested scopes: their loads may capture our locals ---------------
+    def _visit_nested(self, node: ast.AST) -> None:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name):
+                self.escaping.add(inner.id)
+            elif isinstance(inner, (ast.Global, ast.Nonlocal)):
+                self.escaping.update(inner.names)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.bound.add(node.name)
+        self._visit_nested(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.bound.add(node.name)
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    # -- comprehension targets are their own scope -----------------------
+    def _visit_comprehension(self, node) -> None:
+        targets: set[str] = set()
+        for gen in node.generators:
+            for inner in ast.walk(gen.target):
+                if isinstance(inner, ast.Name):
+                    targets.add(inner.id)
+        self._comp_targets.append(targets)
+        self.generic_visit(node)
+        self._comp_targets.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- plain bindings ---------------------------------------------------
+    def _comp_local(self, name: str) -> bool:
+        return any(name in targets for targets in self._comp_targets)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and not self._comp_local(node.id):
+            self.bound.add(node.id)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.declared.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.declared.update(node.names)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.bound.add(alias.asname or alias.name.split(".")[0])
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name != "*":
+                self.bound.add(alias.asname or alias.name)
+
+
+def function_scope(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> FunctionScope:
+    """Classify every name of ``func``'s own scope."""
+    collector = _ScopeCollector()
+    for stmt in func.body:
+        collector.visit(stmt)
+    params = frozenset(_param_names(func.args))
+    return FunctionScope(
+        params=params,
+        locals=frozenset(collector.bound - collector.declared),
+        escaping=frozenset(collector.escaping),
+        declared=frozenset(collector.declared),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-node defs / uses (header-scoped: compound bodies are other nodes)
+# ----------------------------------------------------------------------
+@dataclass
+class NodeEffects:
+    """Names a CFG node uses (before) and defines / deletes (after)."""
+
+    uses: list[ast.Name] = field(default_factory=list)
+    defs: list[ast.Name] = field(default_factory=list)
+    dels: list[str] = field(default_factory=list)
+
+
+class _EffectCollector(ast.NodeVisitor):
+    """Loads and stores of one header, nested scopes and comps cut out."""
+
+    def __init__(self) -> None:
+        self.effects = NodeEffects()
+        self._comp_targets: list[set[str]] = []
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.effects.defs.append(
+                ast.copy_location(ast.Name(id=node.name, ctx=ast.Store()), node))
+
+    visit_FunctionDef = _visit_nested  # type: ignore[assignment]
+    visit_AsyncFunctionDef = _visit_nested  # type: ignore[assignment]
+    visit_ClassDef = _visit_nested  # type: ignore[assignment]
+    visit_Lambda = _visit_nested  # type: ignore[assignment]
+
+    def _visit_comprehension(self, node) -> None:
+        targets: set[str] = set()
+        for gen in node.generators:
+            for inner in ast.walk(gen.target):
+                if isinstance(inner, ast.Name):
+                    targets.add(inner.id)
+        self._comp_targets.append(targets)
+        self.generic_visit(node)
+        self._comp_targets.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _comp_local(self, name: str) -> bool:
+        return any(name in targets for targets in self._comp_targets)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if self._comp_local(node.id):
+            return
+        if isinstance(node.ctx, ast.Load):
+            self.effects.uses.append(node)
+        elif isinstance(node.ctx, ast.Store):
+            self.effects.defs.append(node)
+        elif isinstance(node.ctx, ast.Del):
+            self.effects.dels.append(node.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        # a bare annotation (`x: int`) declares without binding
+        if node.value is None:
+            return
+        self.visit(node.value)
+        self.visit(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # the target is read before it is written
+        if isinstance(node.target, ast.Name) and not self._comp_local(node.target.id):
+            self.effects.uses.append(node.target)
+            self.effects.defs.append(node.target)
+        else:
+            self.visit(node.target)
+        self.visit(node.value)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.effects.defs.append(
+                ast.copy_location(ast.Name(id=name, ctx=ast.Store()), node))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.effects.defs.append(
+                ast.copy_location(ast.Name(id=name, ctx=ast.Store()), node))
+
+
+def _collect(*roots: "ast.AST | None") -> NodeEffects:
+    collector = _EffectCollector()
+    for root in roots:
+        if root is not None:
+            collector.visit(root)
+    return collector.effects
+
+
+def node_effects(node: Node) -> NodeEffects:
+    """Header-scoped uses / defs of one CFG node."""
+    if node.kind == KIND_STMT:
+        return _collect(node.stmt)
+    if node.kind == KIND_TEST:
+        return _collect(node.guard)
+    if node.kind == KIND_FORHEAD:
+        stmt = node.stmt
+        effects = _collect(stmt.iter)
+        effects.defs.extend(_collect(stmt.target).defs)
+        return effects
+    if node.kind == KIND_WITHHEAD:
+        stmt = node.stmt
+        effects = NodeEffects()
+        for item in stmt.items:
+            effects.uses.extend(_collect(item.context_expr).uses)
+            if item.optional_vars is not None:
+                effects.defs.extend(_collect(item.optional_vars).defs)
+        return effects
+    if node.kind == KIND_HANDLER:
+        handler = node.stmt
+        effects = _collect(handler.type)
+        if handler.name:
+            effects.defs.append(
+                ast.copy_location(ast.Name(id=handler.name, ctx=ast.Store()),
+                                  handler))
+        return effects
+    return NodeEffects()  # entry / exit
+
+
+# ----------------------------------------------------------------------
+# Use-before-def: forward boundness
+# ----------------------------------------------------------------------
+class _Boundness(ForwardAnalysis):
+    """3-value boundness of tracked locals; reports UNBOUND loads."""
+
+    def __init__(self, cfg: CFG, scope: FunctionScope):
+        self.scope = scope
+        self.tracked = scope.tracked() - scope.params
+        self.effects = {n.index: node_effects(n) for n in cfg.nodes}
+
+    def initial(self):
+        return {name: UNBOUND for name in self.tracked}
+
+    def transfer(self, node: Node, state, report=None):
+        effects = self.effects[node.index]
+        if report is not None:
+            for use in effects.uses:
+                if state.get(use.id) == UNBOUND and use.id in self.tracked:
+                    report(use, "RA504", "error",
+                           f"local variable {use.id!r} is used before any "
+                           "assignment on every path reaching this line "
+                           "(guaranteed NameError)")
+        if not effects.defs and not effects.dels:
+            return state
+        new = dict(state)
+        for target in effects.defs:
+            if target.id in self.tracked:
+                new[target.id] = BOUND
+        for name in effects.dels:
+            if name in self.tracked:
+                new[name] = UNBOUND
+        return new
+
+    def join(self, left, right):
+        if left == right:
+            return left
+        return {name: left[name] if left[name] == right[name] else MAYBE
+                for name in left}
+
+
+def use_before_def(cfg: CFG, scope: "FunctionScope | None" = None):
+    """``(ast.Name, message)`` pairs for guaranteed-unbound loads."""
+    scope = scope or function_scope(cfg.func)
+    analysis = _Boundness(cfg, scope)
+    states = solve_forward(cfg, analysis)
+    found: list[tuple[ast.Name, str]] = []
+    seen: set[tuple[int, int, str]] = set()
+
+    def report(node, code, severity, message):
+        key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+               node.id)
+        if key not in seen:
+            seen.add(key)
+            found.append((node, message))
+
+    for index, state in sorted(states.items()):
+        analysis.transfer(cfg.nodes[index], state, report=report)
+    return found
+
+
+# ----------------------------------------------------------------------
+# Dead stores: backward liveness
+# ----------------------------------------------------------------------
+def _liveness(cfg: CFG, effects: dict[int, NodeEffects],
+              tracked: frozenset[str]) -> dict[int, frozenset[str]]:
+    """live-out set per node (backward may-analysis to fixpoint)."""
+    use_sets = {i: frozenset(n.id for n in e.uses if n.id in tracked)
+                for i, e in effects.items()}
+    def_sets = {i: frozenset(n.id for n in e.defs if n.id in tracked)
+                for i, e in effects.items()}
+    live_in: dict[int, frozenset[str]] = {i: frozenset() for i in effects}
+    live_out: dict[int, frozenset[str]] = {i: frozenset() for i in effects}
+    work = list(effects)
+    budget = 64 * max(len(cfg), 1)
+    while work and budget > 0:
+        budget -= 1
+        index = work.pop()
+        node = cfg.nodes[index]
+        out = frozenset().union(*(live_in[e.dst] for e in node.succ)) \
+            if node.succ else frozenset()
+        new_in = use_sets[index] | (out - def_sets[index])
+        live_out[index] = out
+        if new_in != live_in[index]:
+            live_in[index] = new_in
+            work.extend(node.pred)
+    return live_out
+
+
+def dead_stores(cfg: CFG, scope: "FunctionScope | None" = None):
+    """``(ast.Name, message)`` pairs for stores that can never be read."""
+    scope = scope or function_scope(cfg.func)
+    tracked = scope.tracked()
+    effects = {n.index: node_effects(n) for n in cfg.nodes}
+    live_out = _liveness(cfg, effects, tracked)
+    found: list[tuple[ast.Name, str]] = []
+    for node in cfg.nodes:
+        if node.kind != KIND_STMT or node.index not in live_out:
+            continue
+        stmt = node.stmt
+        targets: list[ast.Name] = []
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target]
+        for target in targets:
+            name = target.id
+            if (name.startswith("_") or name not in tracked
+                    or name in live_out[node.index]):
+                continue
+            found.append((target,
+                          f"value assigned to {name!r} is never read on any "
+                          "path from here (dead store); drop the binding or "
+                          "use the value"))
+    return found

@@ -1,0 +1,87 @@
+"""Generic worklist fixpoint solver for forward dataflow analyses.
+
+An analysis supplies an initial state, a monotone transfer function, a
+join, and (optionally) an edge refiner that sharpens state along guarded
+branches — the piece that lets the typestate rules understand
+``if cursor.try_descend(v):`` (depth+1 on the true edge only) and
+``while not it.at_end():`` (not-exhausted inside the body).
+
+States are treated as immutable values: ``transfer``/``refine``/``join``
+return fresh states (or the argument unchanged) and never mutate their
+inputs.  ``None`` is the implicit bottom — the state of unreachable
+nodes, which are simply never visited, so dead code cannot raise
+findings.
+
+Termination: all shipped analyses use finite lattices per variable
+(capped depth intervals, small enums), so the chaotic iteration
+converges; a generous iteration budget guards against a non-monotone
+user-supplied transfer, degrading to partial (still sound-for-reporting)
+results instead of hanging the linter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.analysis.dataflow.cfg import CFG, Node
+
+#: findings callback: (ast_node, code, severity_name, message)
+ReportFn = Callable[[Any, str, str, str], None]
+
+
+class ForwardAnalysis:
+    """Base class for forward dataflow analyses over one CFG."""
+
+    def initial(self) -> Any:
+        """State at the function entry."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, state: Any,
+                 report: "ReportFn | None" = None) -> Any:
+        """State after executing ``node``; with ``report`` set, also emit
+        findings for protocol violations observable in ``state`` (the
+        reporting pass runs once, over the fixed point)."""
+        raise NotImplementedError
+
+    def refine(self, guard, truth: bool, state: Any) -> Any:
+        """Sharpen ``state`` along a guarded edge (default: no-op)."""
+        return state
+
+    def join(self, left: Any, right: Any) -> Any:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+
+def solve_forward(cfg: CFG, analysis: ForwardAnalysis,
+                  max_steps: "int | None" = None) -> dict[int, Any]:
+    """In-states of every reachable node at the least fixed point."""
+    in_states: dict[int, Any] = {cfg.entry: analysis.initial()}
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    budget = max_steps if max_steps is not None else 64 * max(len(cfg), 1)
+    while work and budget > 0:
+        budget -= 1
+        index = work.popleft()
+        queued.discard(index)
+        node = cfg.nodes[index]
+        out = analysis.transfer(node, in_states[index])
+        for edge in node.succ:
+            state = out
+            if edge.guard is not None and edge.truth is not None:
+                state = analysis.refine(edge.guard, edge.truth, out)
+            old = in_states.get(edge.dst)
+            new = state if old is None else analysis.join(old, state)
+            if old is None or new != old:
+                in_states[edge.dst] = new
+                if edge.dst not in queued:
+                    work.append(edge.dst)
+                    queued.add(edge.dst)
+    return in_states
+
+
+def report_fixed_point(cfg: CFG, analysis: ForwardAnalysis,
+                       in_states: dict[int, Any], report: ReportFn) -> None:
+    """One reporting sweep over the solved states (no state is kept)."""
+    for index in sorted(in_states):
+        analysis.transfer(cfg.nodes[index], in_states[index], report=report)

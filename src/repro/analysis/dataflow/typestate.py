@@ -1,0 +1,410 @@
+"""Typestate analysis of cursor / iterator / index locals (RA401–RA404).
+
+The paper's C++ framework makes protocol misuse a *compile error*: a
+``SUPPORTS_PREFIX=False`` structure simply has no prefix methods to call,
+and a trie iterator's navigation contract is enforced by the template
+interface (§4.1).  This module recovers the stateful part of that check
+for Python through abstract interpretation over the function CFG:
+
+* ``TrieIterator`` locals (born from ``<index>.iterator()``) carry an
+  *open-depth interval* and a 3-valued *exhaustion* flag.  ``key``/
+  ``next``/``seek`` before any ``open`` (RA401), advancing or reading a
+  cursor that may already be exhausted without an ``at_end()`` guard
+  (RA401), and ``up()`` above the root (RA402) are reported.
+* ``PrefixCursor`` locals (born from ``<index>.cursor()``) carry a
+  *descent-depth interval*; ``ascend()`` that may pop above the root is
+  RA402.  Branch guards refine the interval: the true edge of
+  ``if cursor.try_descend(v):`` is depth+1, the false edge unchanged.
+* ``TupleIndex`` locals (born from a registered index constructor or a
+  ``make_index("<name>", …)`` literal) carry *capability* and *frozen*
+  facts: prefix methods on a value that may flow from a
+  ``SUPPORTS_PREFIX=False`` construction are RA403; ``insert``/``build``
+  after the index was handed to an adapter/executor is RA404
+  (mutation-after-build — the index structures here never rehash, §3.1,
+  so post-build mutation corrupts cursors already derived from them).
+
+Aliasing is handled by *dropping*: ``a = b`` untracks both names, and a
+tracked object passed to an unknown call escapes and is untracked — the
+analysis prefers false negatives over false positives, as a CI gate
+must.  Only plain locals are tracked; attributes and container elements
+are out of scope (and the repo's hot paths keep cursors in locals).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import resolve_call
+from repro.analysis.dataflow.cfg import KIND_STMT, KIND_TEST, Node
+from repro.analysis.dataflow.solver import ForwardAnalysis
+
+# ----------------------------------------------------------------------
+# Static knowledge about the index zoo (cross-checked against the live
+# registry by tests/analysis/test_dataflow_rules.py so it cannot rot).
+# ----------------------------------------------------------------------
+#: registered TupleIndex classes (repro.indexes + repro.core.sonic)
+INDEX_CLASSES = frozenset({
+    "SonicIndex", "SwissTableSet", "RobinHoodTupleIndex", "BPlusTree",
+    "AdaptiveRadixTree", "HatTrie", "HierarchicalHashMap", "HashTrie",
+    "SuccinctRangeFilter", "SortedTrie",
+})
+#: classes with SUPPORTS_PREFIX = False (§5.4 point-lookup-only group)
+POINT_ONLY_CLASSES = frozenset({
+    "SwissTableSet", "RobinHoodTupleIndex", "SuccinctRangeFilter",
+})
+#: registry names of the point-only group (for make_index literals)
+POINT_ONLY_NAMES = frozenset({"hashset", "robinhood", "surf"})
+#: TupleIndex prefix-protocol surface (§3.1 prefix operations + cursor)
+PREFIX_METHODS = frozenset({
+    "prefix_lookup", "count_prefix", "has_prefix", "iter_next_values",
+    "cursor",
+})
+#: methods that mutate an index after construction
+MUTATOR_METHODS = frozenset({"insert", "build"})
+#: call targets that take ownership of an index (the build→probe handoff)
+FREEZER_CALLS = frozenset({"IndexAdapter"})
+#: calls that read a tracked object without invalidating what we know
+_HARMLESS_CALLS = frozenset({"len", "repr", "str", "bool", "id", "print"})
+
+#: exhaustion lattice for TrieIterator
+_NO, _MAYBE, _YES = "no", "maybe", "yes"
+_DEPTH_CAP = 64
+
+# abstract value shapes (plain tuples: hashable, comparable, immutable):
+#   ("trieiter", depth_lo, depth_hi, at_end)
+#   ("cursor",   depth_lo, depth_hi)
+#   ("index",    frozen,   prefix)     frozen ∈ {live, maybe, frozen};
+#                                      prefix ∈ {ok, point}
+
+
+def _join_value(left, right):
+    if left == right:
+        return left
+    if left is None or right is None or left[0] != right[0]:
+        return None  # incompatible histories: stop tracking
+    kind = left[0]
+    if kind == "trieiter":
+        at_end = left[3] if left[3] == right[3] else _MAYBE
+        return ("trieiter", min(left[1], right[1]),
+                min(max(left[2], right[2]), _DEPTH_CAP), at_end)
+    if kind == "cursor":
+        return ("cursor", min(left[1], right[1]),
+                min(max(left[2], right[2]), _DEPTH_CAP))
+    frozen = left[1] if left[1] == right[1] else "maybe"
+    prefix = left[2] if left[2] == right[2] else "point"
+    return ("index", frozen, prefix)
+
+
+class TypestateAnalysis(ForwardAnalysis):
+    """Forward abstract interpretation of one function's tracked locals."""
+
+    def __init__(self, aliases: dict[str, str]):
+        self.aliases = aliases
+
+    # ------------------------------------------------------------------
+    # lattice plumbing
+    # ------------------------------------------------------------------
+    def initial(self):
+        return {}
+
+    def join(self, left, right):
+        if left == right:
+            return left
+        joined = {}
+        for name in left.keys() & right.keys():
+            value = _join_value(left[name], right[name])
+            if value is not None:
+                joined[name] = value
+        return joined
+
+    # ------------------------------------------------------------------
+    # origins
+    # ------------------------------------------------------------------
+    def _origin(self, expr: ast.AST):
+        """Abstract value born from ``expr``, or None."""
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "iterator":
+                return ("trieiter", 0, 0, _NO)
+            if func.attr == "cursor":
+                return ("cursor", 0, 0)
+        dotted = resolve_call(func, self.aliases)
+        if dotted is None:
+            return None
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in INDEX_CLASSES:
+            prefix = "point" if tail in POINT_ONLY_CLASSES else "ok"
+            return ("index", "live", prefix)
+        if tail == "make_index" and expr.args:
+            first = expr.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                prefix = "point" if first.value in POINT_ONLY_NAMES else "ok"
+                return ("index", "live", prefix)
+            return ("index", "live", "ok")  # unknown name: assume capable
+        return None
+
+    # ------------------------------------------------------------------
+    # transfer
+    # ------------------------------------------------------------------
+    def transfer(self, node: Node, state, report=None):
+        if node.kind == KIND_TEST:
+            # conditions mutate nothing here; effects of try_descend /
+            # at_end inside a test are applied per-edge by refine().
+            # Still surface check-only violations (e.g. key() in a test).
+            if node.guard is not None and report is not None:
+                self._check_expr(node.guard, state, report)
+            return state
+        if node.kind != KIND_STMT or node.stmt is None:
+            return state
+        stmt = node.stmt
+        new = state
+        # 1. apply method effects / escapes in evaluation order
+        for call in self._calls(stmt):
+            new = self._apply_call(call, new, report)
+        # 2. deletions and (re)bindings
+        for inner in ast.walk(stmt):
+            if isinstance(inner, ast.Name) and isinstance(inner.ctx, ast.Del):
+                new = self._drop(new, inner.id)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            new = self._assign(stmt.targets[0].id, stmt.value, new)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                and isinstance(stmt.target, ast.Name):
+            new = self._assign(stmt.target.id, stmt.value, new)
+        else:
+            # any other store to a tracked name invalidates it
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Name) \
+                        and isinstance(inner.ctx, ast.Store):
+                    new = self._drop(new, inner.id)
+        return new
+
+    def _assign(self, name: str, value: ast.AST, state):
+        born = self._origin(value)
+        if born is not None:
+            new = dict(state)
+            new[name] = born
+            return new
+        # aliasing a tracked object under two names would de-synchronise
+        # their states; drop both rather than guess.
+        if isinstance(value, ast.Name) and value.id in state:
+            new = self._drop(state, value.id)
+            return self._drop(new, name)
+        return self._drop(state, name)
+
+    @staticmethod
+    def _drop(state, name: str):
+        if name in state:
+            new = dict(state)
+            del new[name]
+            return new
+        return state
+
+    # ------------------------------------------------------------------
+    # calls: method effects, freezes, escapes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _calls(stmt: ast.AST):
+        """Calls inside one statement, outermost-last (≈ evaluation order)."""
+        calls = [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+        calls.reverse()
+        return calls
+
+    def _apply_call(self, call: ast.Call, state, report):
+        func = call.func
+        # method call on a tracked local
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+                and func.value.id in state:
+            return self._method(call, func.value.id, func.attr, state, report)
+        # tracked locals passed as arguments: freeze or escape
+        dotted = resolve_call(func, self.aliases)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else None
+        tracked_args = [a.id for a in call.args
+                        if isinstance(a, ast.Name) and a.id in state]
+        tracked_args += [k.value.id for k in call.keywords
+                         if isinstance(k.value, ast.Name) and k.value.id in state]
+        if not tracked_args:
+            return state
+        new = state
+        for name in tracked_args:
+            value = new.get(name)
+            if value is None:
+                continue
+            if tail in FREEZER_CALLS and value[0] == "index":
+                updated = dict(new)
+                updated[name] = ("index", "frozen", value[2])
+                new = updated
+            elif tail not in _HARMLESS_CALLS:
+                new = self._drop(new, name)  # escaped to unknown code
+        return new
+
+    def _method(self, call: ast.Call, name: str, method: str, state, report):
+        value = state[name]
+        kind = value[0]
+        if kind == "trieiter":
+            return self._trieiter_method(call, name, method, value, state, report)
+        if kind == "cursor":
+            return self._cursor_method(call, name, method, value, state, report)
+        return self._index_method(call, name, method, value, state, report)
+
+    # -- TrieIterator ---------------------------------------------------
+    def _trieiter_method(self, call, name, method, value, state, report):
+        _, lo, hi, at_end = value
+        emit = report if report is not None else _ignore
+        if method == "open":
+            lo, hi = min(lo + 1, _DEPTH_CAP), min(hi + 1, _DEPTH_CAP)
+            at_end = _NO
+        elif method == "up":
+            if hi == 0:
+                emit(call, "RA402", "error",
+                     f"{name}.up() above the root: every path reaching this "
+                     "line has balanced open()/up() already")
+            elif lo == 0:
+                emit(call, "RA402", "warning",
+                     f"{name}.up() may pop above the root on some path "
+                     "(unbalanced open()/up())")
+            lo, hi = max(lo - 1, 0), max(hi - 1, 0)
+            at_end = _NO  # parent was positioned on a real key
+        elif method in ("next", "seek"):
+            if hi == 0:
+                emit(call, "RA401", "error",
+                     f"{name}.{method}() before any open(): the iterator is "
+                     "above the root on every path reaching this line")
+            elif lo == 0:
+                emit(call, "RA401", "warning",
+                     f"{name}.{method}() may run before open() on some path")
+            if at_end == _YES:
+                emit(call, "RA401", "error",
+                     f"{name}.{method}() after at_end() is already true: "
+                     "advancing an exhausted iterator")
+            elif at_end == _MAYBE:
+                emit(call, "RA401", "warning",
+                     f"{name}.{method}() on a possibly exhausted iterator; "
+                     "guard with at_end() first")
+            at_end = _MAYBE
+        elif method == "key":
+            if hi == 0:
+                emit(call, "RA401", "error",
+                     f"{name}.key() before any open(): no component is bound "
+                     "on any path reaching this line")
+            elif lo == 0:
+                emit(call, "RA401", "warning",
+                     f"{name}.key() may run before open() on some path")
+            if at_end == _YES:
+                emit(call, "RA401", "error",
+                     f"{name}.key() after at_end() is already true: the "
+                     "iterator is exhausted at this depth")
+            elif at_end == _MAYBE:
+                emit(call, "RA401", "warning",
+                     f"{name}.key() on a possibly exhausted iterator; guard "
+                     "with at_end() first")
+        elif method == "at_end":
+            return state  # pure query; refinement happens on branch edges
+        else:
+            return self._drop(state, name)  # unknown method: stop tracking
+        new = dict(state)
+        new[name] = ("trieiter", lo, hi, at_end)
+        return new
+
+    # -- PrefixCursor ---------------------------------------------------
+    def _cursor_method(self, call, name, method, value, state, report):
+        _, lo, hi = value
+        emit = report if report is not None else _ignore
+        if method == "try_descend":
+            # unconditional call (result unused / stored): may descend
+            new = dict(state)
+            new[name] = ("cursor", lo, min(hi + 1, _DEPTH_CAP))
+            return new
+        if method == "ascend":
+            if hi == 0:
+                emit(call, "RA402", "error",
+                     f"{name}.ascend() above the root: every path reaching "
+                     "this line has no un-popped descend")
+            elif lo == 0:
+                emit(call, "RA402", "warning",
+                     f"{name}.ascend() may pop above the root on some path "
+                     "(a failed try_descend leaves the depth unchanged)")
+            new = dict(state)
+            new[name] = ("cursor", max(lo - 1, 0), max(hi - 1, 0))
+            return new
+        if method in ("child_values", "count", "depth"):
+            return state
+        return self._drop(state, name)
+
+    # -- TupleIndex -----------------------------------------------------
+    def _index_method(self, call, name, method, value, state, report):
+        _, frozen, prefix = value
+        emit = report if report is not None else _ignore
+        if method in PREFIX_METHODS and prefix == "point":
+            emit(call, "RA403", "error",
+                 f"{name}.{method}() on a SUPPORTS_PREFIX=False index: this "
+                 "value flows from a point-lookup-only construction "
+                 "(hashset/robinhood/surf) and will raise "
+                 "UnsupportedOperationError (§5.4 exclusion)")
+        if method in MUTATOR_METHODS:
+            if frozen == "frozen":
+                emit(call, "RA404", "error",
+                     f"{name}.{method}() after the index was handed to the "
+                     "executor/adapter (mutation-after-build): cursors and "
+                     "counts derived from it are now stale")
+            elif frozen == "maybe":
+                emit(call, "RA404", "warning",
+                     f"{name}.{method}() on an index that may already be "
+                     "built into an adapter on some path")
+        return state
+
+    # ------------------------------------------------------------------
+    # branch refinement
+    # ------------------------------------------------------------------
+    def refine(self, guard, truth: bool, state):
+        while isinstance(guard, ast.UnaryOp) and isinstance(guard.op, ast.Not):
+            guard, truth = guard.operand, not truth
+        # cursor.try_descend(v) — depth+1 only when the descend succeeded
+        if isinstance(guard, ast.Call) and isinstance(guard.func, ast.Attribute) \
+                and isinstance(guard.func.value, ast.Name):
+            name = guard.func.value.id
+            value = state.get(name)
+            if value is None:
+                return state
+            method = guard.func.attr
+            if value[0] == "cursor" and method == "try_descend":
+                if truth:
+                    new = dict(state)
+                    new[name] = ("cursor", min(value[1] + 1, _DEPTH_CAP),
+                                 min(value[2] + 1, _DEPTH_CAP))
+                    return new
+                return state
+            if value[0] == "trieiter" and method == "at_end":
+                new = dict(state)
+                new[name] = ("trieiter", value[1], value[2],
+                             _YES if truth else _NO)
+                return new
+            return state
+        # idx.SUPPORTS_PREFIX — the §5.4 capability check
+        if isinstance(guard, ast.Attribute) and guard.attr == "SUPPORTS_PREFIX" \
+                and isinstance(guard.value, ast.Name):
+            name = guard.value.id
+            value = state.get(name)
+            if value is not None and value[0] == "index":
+                new = dict(state)
+                new[name] = ("index", value[1], "ok" if truth else "point")
+                return new
+        return state
+
+    # ------------------------------------------------------------------
+    # check-only sweep for calls inside branch conditions
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: ast.AST, state, report):
+        for call in self._calls(expr):
+            func = call.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in state:
+                # run the method transfer for its findings, discard state
+                self._method(call, func.value.id, func.attr, state, report)
+
+
+def _ignore(node, code, severity, message):  # pragma: no cover
+    pass

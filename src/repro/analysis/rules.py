@@ -27,71 +27,16 @@ import ast
 from collections.abc import Iterator
 from pathlib import PurePath
 
+from repro.analysis.astutil import collect_import_aliases, expr_key, resolve_call
 from repro.analysis.engine import LintRule, register_rule
 from repro.analysis.findings import Finding
 
-# ----------------------------------------------------------------------
-# Shared AST helpers
-# ----------------------------------------------------------------------
-
-
-def _collect_import_aliases(tree: ast.AST) -> dict[str, str]:
-    """Map local names to the dotted import path they are bound to.
-
-    ``import numpy as np`` yields ``{"np": "numpy"}``;
-    ``from random import randrange as rr`` yields
-    ``{"rr": "random.randrange"}``.  Only top-level and nested plain
-    imports are tracked — attribute rebinding (``r = random``) is not,
-    which keeps the pass conservative (no false positives from
-    lookalike locals).
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for name in node.names:
-                aliases[name.asname or name.name.split(".")[0]] = (
-                    name.name if name.asname else name.name.split(".")[0]
-                )
-                if name.asname:
-                    aliases[name.asname] = name.name
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for name in node.names:
-                if name.name == "*":
-                    continue
-                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
-    return aliases
-
-
-def _resolve_call(func: ast.AST, aliases: dict[str, str]) -> "str | None":
-    """Dotted path of a call target, resolved through import aliases.
-
-    ``np.random.rand`` with ``np -> numpy`` resolves to
-    ``numpy.random.rand``; unresolvable targets (locals, ``self.…``)
-    return ``None``.
-    """
-    parts: list[str] = []
-    node = func
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    base = aliases.get(node.id)
-    if base is None:
-        return None
-    return ".".join([base, *reversed(parts)]) if parts else base
-
-
-def _expr_key(node: ast.AST) -> "tuple[str, ...] | None":
-    """Canonical key for a name / dotted-attribute expression."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return tuple(reversed(parts))
-    return None
+# Shared AST helpers live in repro.analysis.astutil (the dataflow layer
+# uses the same import resolution); the old private names remain for the
+# rules below and any out-of-tree rule that imported them.
+_collect_import_aliases = collect_import_aliases
+_resolve_call = resolve_call
+_expr_key = expr_key
 
 
 # ----------------------------------------------------------------------

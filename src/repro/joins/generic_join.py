@@ -79,6 +79,12 @@ class GenericJoin:
             min(aliases, key=lambda a: len(self.adapters[a].relation))
             for aliases in self._atoms_per_attribute
         ]
+        #: position of the static seed within its depth's participant list
+        self._static_seed_pos: list[int] = [
+            aliases.index(seed)
+            for aliases, seed in zip(self._atoms_per_attribute,
+                                     self._static_seed)
+        ]
         self.metrics = JoinMetrics(algorithm="generic_join")
 
     # ------------------------------------------------------------------
@@ -88,23 +94,27 @@ class GenericJoin:
         watch = Stopwatch()
         cursors = {alias: adapter.index.cursor()
                    for alias, adapter in self.adapters.items()}
+        # per-depth participant cursor lists, hoisted out of the probe
+        # path: _join_level runs once per partial binding and must not
+        # allocate per call (the paper's Alg. 3 cost model)
+        levels: list[list] = [
+            [cursors[alias] for alias in aliases]
+            for aliases in self._atoms_per_attribute
+        ]
         binding: list = []
-        self._join_level(0, cursors, binding, sink)
+        self._join_level(0, levels, binding, sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
 
     # ------------------------------------------------------------------
-    def _join_level(self, depth: int, cursors: dict, binding: list,
+    def _join_level(self, depth: int, levels: list, binding: list,
                     sink) -> None:
         if depth == len(self.order):
             sink.emit(tuple(binding))
             return
-        aliases = self._atoms_per_attribute[depth]
-        participants = [cursors[alias] for alias in aliases]
-        seed = self._choose_seed(depth, aliases, cursors)
-        seed_cursor = cursors[seed]
-        others = [cursors[alias] for alias in aliases if alias != seed]
+        participants = levels[depth]
+        seed_cursor = participants[self._choose_seed_pos(depth, participants)]
 
         self.metrics.lookups += 1
         for value in seed_cursor.child_values():
@@ -115,39 +125,50 @@ class GenericJoin:
             self.metrics.lookups += 1
             if not seed_cursor.try_descend(value):
                 continue
-            survived = [seed_cursor]
+            descended = 1
             ok = True
-            for cursor in others:
+            for cursor in participants:
+                if cursor is seed_cursor:
+                    continue
                 self.metrics.lookups += 1
                 if cursor.try_descend(value):
-                    survived.append(cursor)
+                    descended += 1
                 else:
                     ok = False
                     break
             if ok:
                 self.metrics.intermediate_tuples += 1
                 binding.append(value)
-                self._join_level(depth + 1, cursors, binding, sink)
+                self._join_level(depth + 1, levels, binding, sink)
                 binding.pop()
-            for cursor in survived:
+            # pop exactly the cursors that descended: the seed, then the
+            # leading non-seed participants up to the first failure
+            seed_cursor.ascend()
+            descended -= 1
+            for cursor in participants:
+                if descended == 0:
+                    break
+                if cursor is seed_cursor:
+                    continue
                 cursor.ascend()
+                descended -= 1
 
-    def _choose_seed(self, depth: int, aliases: list[str],
-                     cursors: dict) -> str:
+    def _choose_seed_pos(self, depth: int, participants: list) -> int:
         """Pick the enumeration seed among the atoms binding this attribute.
 
         Dynamic mode compares the atoms' residual sizes *under the current
         binding* via the cursors' advisory counts (the paper's motivation
         for making count-prefix fast); static mode uses base relation
-        sizes only (the Hash-Trie Join simplification).
+        sizes only (the Hash-Trie Join simplification).  Returns the
+        seed's position in ``participants``.
         """
-        if len(aliases) == 1 or not self.dynamic_seed:
-            return self._static_seed[depth]
-        best_alias = aliases[0]
+        if len(participants) == 1 or not self.dynamic_seed:
+            return self._static_seed_pos[depth]
+        best_pos = 0
         best_count = None
-        for alias in aliases:
+        for pos, cursor in enumerate(participants):
             self.metrics.lookups += 1
-            count = cursors[alias].count()
+            count = cursor.count()
             if best_count is None or count < best_count:
-                best_alias, best_count = alias, count
-        return best_alias
+                best_pos, best_count = pos, count
+        return best_pos

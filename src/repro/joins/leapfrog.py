@@ -69,26 +69,32 @@ class LeapfrogTrieJoin:
         sink = make_sink(materialize)
         watch = Stopwatch()
         iterators = {alias: trie.iterator() for alias, trie in self._tries.items()}
+        # per-depth iterator lists, hoisted out of the probe path:
+        # _join_level runs once per partial binding and must not
+        # allocate per call
+        levels: list[list[TrieIterator]] = [
+            [iterators[a] for a in aliases] for aliases in self._participants
+        ]
         if all(len(trie) for trie in self._tries.values()):
-            self._join_level(0, iterators, [], sink)
+            self._join_level(0, levels, [], sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
 
     # ------------------------------------------------------------------
-    def _join_level(self, depth: int, iterators: dict[str, TrieIterator],
+    def _join_level(self, depth: int, levels: list[list[TrieIterator]],
                     binding: list, sink) -> None:
         if depth == len(self.order):
             sink.emit(tuple(binding))
             return
-        participants = [iterators[a] for a in self._participants[depth]]
+        participants = levels[depth]
         for cursor in participants:
             cursor.open()
         try:
             for value in self._leapfrog(participants):
                 binding.append(value)
                 self.metrics.intermediate_tuples += 1
-                self._join_level(depth + 1, iterators, binding, sink)
+                self._join_level(depth + 1, levels, binding, sink)
                 binding.pop()
         finally:
             for cursor in participants:
@@ -98,7 +104,9 @@ class LeapfrogTrieJoin:
         """Yield the intersection of the cursors' key streams (Veldhuizen §3)."""
         if any(c.at_end() for c in cursors):
             return
-        cursors = sorted(cursors, key=lambda c: c.key())
+        # in place: `cursors` is this depth's reusable participant list
+        # and its internal order is free, so no per-call copy is needed
+        cursors.sort(key=lambda c: c.key())
         index = 0
         max_key = cursors[-1].key()
         while True:

@@ -192,7 +192,6 @@ class RecursiveJoin:
         """Line 3: ∩_e R_e over the remaining universe."""
         # seed candidate bindings from the smallest participating edge
         seed = min(edges, key=lambda e: len(e.rows))
-        candidates: set[tuple] = set()
         positions = [seed.attributes.index(a) for a in universe
                      if a in seed.attributes]
         attrs_in_seed = [a for a in universe if a in seed.attributes]

@@ -1,0 +1,42 @@
+"""Protocol-correct counterexample: must stay free of RA4xx/RA5xx findings."""
+
+from repro.indexes import make_index
+
+_SMALL_PRIMES = frozenset({2, 3, 5, 7, 11})
+
+
+def balanced_cursor(index, value):
+    cursor = index.cursor()
+    hits = 0
+    if cursor.try_descend(value):
+        hits = cursor.count()
+        cursor.ascend()
+    return hits
+
+
+def guarded_iteration(trie):
+    it = trie.iterator()
+    it.open()
+    keys = []
+    while not it.at_end():
+        keys.append(it.key())
+        it.next()
+    it.up()
+    return keys
+
+
+def capability_checked_probe(rows, key):
+    idx = make_index("hashset", 2)
+    for row in rows:
+        idx.insert(row)
+    if idx.SUPPORTS_PREFIX:
+        return idx.prefix_lookup(key)
+    return [row for row in rows if row[:len(key)] == key]
+
+
+def hoisted_probe_loop(rows):
+    hits = 0
+    for row in rows:
+        if row[0] in _SMALL_PRIMES:
+            hits += 1
+    return hits

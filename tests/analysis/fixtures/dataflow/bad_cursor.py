@@ -1,0 +1,15 @@
+"""Planted RA401: TrieIterator protocol misuse (use before open / after end)."""
+
+
+def use_before_open(trie):
+    it = trie.iterator()
+    it.next()  # RA401: next() before any open()
+    return it
+
+
+def read_after_exhaustion(trie):
+    it = trie.iterator()
+    it.open()
+    while not it.at_end():
+        it.next()
+    return it.key()  # RA401: key() after at_end() is already true

@@ -1,0 +1,9 @@
+"""Planted RA503: a store whose value is never read on any path."""
+
+
+def sum_rows(rows):
+    total = 0
+    scratch = len(rows)  # RA503: never read afterwards
+    for row in rows:
+        total += sum(row)
+    return total

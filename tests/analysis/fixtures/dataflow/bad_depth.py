@@ -1,0 +1,17 @@
+"""Planted RA402: seek/depth discipline (popping above the root)."""
+
+
+def pop_above_root(index):
+    cursor = index.cursor()
+    if cursor.try_descend(1):
+        cursor.ascend()
+    cursor.ascend()  # RA402: depth is certainly 0 on every path here
+    return cursor
+
+
+def unbalanced_up(trie):
+    it = trie.iterator()
+    it.open()
+    it.up()
+    it.up()  # RA402: one open(), two up()
+    return it

@@ -1,0 +1,12 @@
+"""Planted RA404: index mutated after it was handed to the adapter."""
+
+from repro.core.adapter import IndexAdapter
+from repro.indexes import make_index
+
+
+def mutate_after_build(relation, order, late_row):
+    idx = make_index("sortedtrie", 2)
+    adapter = IndexAdapter(relation, idx, order)
+    adapter.build()
+    idx.insert(late_row)  # RA404: cursors derived from idx are now stale
+    return adapter

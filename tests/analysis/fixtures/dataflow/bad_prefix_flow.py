@@ -1,0 +1,18 @@
+"""Planted RA403: prefix method on a SUPPORTS_PREFIX=False index flow."""
+
+from repro.indexes import make_index
+from repro.indexes.robinhood import RobinHoodTupleIndex
+
+
+def point_index_prefix_probe(rows, key):
+    idx = make_index("hashset", 2)
+    for row in rows:
+        idx.insert(row)
+    return idx.prefix_lookup(key)  # RA403: hashset is point-lookup only
+
+
+def point_class_cursor(rows):
+    idx = RobinHoodTupleIndex(2)
+    for row in rows:
+        idx.insert(row)
+    return idx.cursor()  # RA403: robinhood has no prefix cursor

@@ -1,0 +1,15 @@
+"""Planted RA504: locals read before any assignment (guaranteed NameError)."""
+
+
+def straight_line(rows):
+    total = total + len(rows)  # RA504: total unbound at first read
+    return total
+
+
+def one_armed(flag):
+    if flag:
+        value = 1
+    else:
+        print(value)  # RA504: value unbound on every path through else
+        value = 0
+    return value

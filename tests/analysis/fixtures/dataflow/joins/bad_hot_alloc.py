@@ -1,0 +1,20 @@
+"""Planted RA501: fresh container allocation inside a hot region."""
+
+
+def probe_loop(rows, keys):
+    out = []
+    for row in rows:
+        widened = [key for key in keys]  # RA501: per-probe allocation
+        out.append((row, len(widened)))
+    return out
+
+
+def recursive_probe(node, depth):
+    frontier = {child: depth for child in node.children}  # RA501 (recursive)
+    for child in sorted_children(node):
+        recursive_probe(child, depth + 1)
+    return frontier
+
+
+def sorted_children(node):
+    return node.children

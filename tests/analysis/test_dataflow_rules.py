@@ -1,0 +1,269 @@
+"""RA4xx/RA5xx dataflow rules: detection, refinement, and no-false-positives."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+JOIN_PATH = "src/repro/joins/fake.py"  # inside the RA5xx hot-path scope
+
+
+def rules_at(source, path=JOIN_PATH):
+    return {f.rule for f in analyze_source(source, path)}
+
+
+class TestTypestateDetection:
+    def test_use_before_open_is_error(self):
+        findings = analyze_source(
+            "def f(trie):\n"
+            "    it = trie.iterator()\n"
+            "    it.next()\n",
+            JOIN_PATH,
+        )
+        assert [(f.rule, str(f.severity)) for f in findings] == [
+            ("RA401", "error")]
+
+    def test_may_advance_after_end_is_warning(self):
+        findings = analyze_source(
+            "def f(trie):\n"
+            "    it = trie.iterator()\n"
+            "    it.open()\n"
+            "    it.next()\n"   # fine: freshly opened
+            "    it.next()\n",  # may already be at_end
+            JOIN_PATH,
+        )
+        ra401 = [f for f in findings if f.rule == "RA401"]
+        assert len(ra401) == 1
+        assert str(ra401[0].severity) == "warning"
+        assert ra401[0].line == 5
+
+    def test_guarded_loop_is_clean(self):
+        assert rules_at(
+            "def f(trie):\n"
+            "    it = trie.iterator()\n"
+            "    it.open()\n"
+            "    while not it.at_end():\n"
+            "        use(it.key())\n"
+            "        it.next()\n"
+            "    it.up()\n"
+        ) == set()
+
+    def test_branchy_ascend_imbalance(self):
+        findings = analyze_source(
+            "def f(index, v):\n"
+            "    c = index.cursor()\n"
+            "    if c.try_descend(v):\n"
+            "        c.ascend()\n"
+            "    c.ascend()\n",
+            JOIN_PATH,
+        )
+        assert {(f.rule, f.line) for f in findings} == {("RA402", 5)}
+
+    def test_refined_descend_is_clean(self):
+        assert rules_at(
+            "def f(index, v):\n"
+            "    c = index.cursor()\n"
+            "    if c.try_descend(v):\n"
+            "        use(c.count())\n"
+            "        c.ascend()\n"
+        ) == set()
+
+    def test_supports_prefix_guard_refines(self):
+        assert rules_at(
+            "from repro.indexes import make_index\n"
+            "def f(rows, key):\n"
+            "    idx = make_index('hashset', 2)\n"
+            "    if idx.SUPPORTS_PREFIX:\n"
+            "        return idx.prefix_lookup(key)\n"
+            "    return None\n"
+        ) == set()
+
+    def test_point_index_prefix_is_error(self):
+        findings = analyze_source(
+            "from repro.indexes import make_index\n"
+            "def f(key):\n"
+            "    idx = make_index('robinhood', 2)\n"
+            "    return idx.prefix_lookup(key)\n",
+            JOIN_PATH,
+        )
+        assert [(f.rule, str(f.severity)) for f in findings] == [
+            ("RA403", "error")]
+
+    def test_mutation_after_adapter_handoff(self):
+        findings = analyze_source(
+            "from repro.core.adapter import IndexAdapter\n"
+            "from repro.indexes import make_index\n"
+            "def f(rel, order, row):\n"
+            "    idx = make_index('sortedtrie', 2)\n"
+            "    adapter = IndexAdapter(rel, idx, order)\n"
+            "    idx.insert(row)\n"
+            "    return adapter\n",
+            JOIN_PATH,
+        )
+        assert {(f.rule, f.line) for f in findings} == {("RA404", 6)}
+
+    def test_insert_before_handoff_is_clean(self):
+        assert rules_at(
+            "from repro.core.adapter import IndexAdapter\n"
+            "from repro.indexes import make_index\n"
+            "def f(rel, order, rows):\n"
+            "    idx = make_index('sortedtrie', 2)\n"
+            "    for row in rows:\n"
+            "        idx.insert(row)\n"
+            "    return IndexAdapter(rel, idx, order)\n",
+            "src/repro/other.py",  # outside RA5xx scope: typestate only
+        ) == set()
+
+    def test_alias_assignment_drops_tracking(self):
+        # `b = a` de-synchronises the names; neither is reported after
+        assert rules_at(
+            "def f(trie):\n"
+            "    a = trie.iterator()\n"
+            "    b = a\n"
+            "    b.next()\n",
+            "src/repro/other.py",
+        ) == set()
+
+    def test_escape_to_unknown_call_drops_tracking(self):
+        assert rules_at(
+            "def f(trie):\n"
+            "    it = trie.iterator()\n"
+            "    helper(it)\n"
+            "    it.next()\n",  # helper may have opened it
+            "src/repro/other.py",
+        ) == set()
+
+
+class TestHotLoopDetection:
+    def test_innermost_loop_only(self):
+        findings = analyze_source(
+            "def f(rows):\n"
+            "    acc = []\n"            # outer scope: not hot
+            "    for row in rows:\n"
+            "        for cell in row:\n"
+            "            tmp = [cell]\n"  # innermost: hot
+            "            acc.append(tmp)\n"
+            "    return acc\n",
+            JOIN_PATH,
+        )
+        ra501 = [f for f in findings if f.rule == "RA501"]
+        assert [f.line for f in ra501] == [5]
+
+    def test_recursive_function_body_is_hot(self):
+        findings = analyze_source(
+            "def walk(node):\n"
+            "    children = [c for c in node.children]\n"
+            "    for child in children:\n"
+            "        walk(child)\n",
+            JOIN_PATH,
+        )
+        assert any(f.rule == "RA501" and f.line == 2 for f in findings)
+
+    def test_scope_excludes_non_hot_paths(self):
+        source = (
+            "def f(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append(sorted(row))\n"
+            "    return out\n"
+        )
+        assert "RA502" in rules_at(source, "src/repro/joins/x.py")
+        assert "RA502" in rules_at(source, "src/repro/indexes/x.py")
+        assert "RA502" not in rules_at(source, "src/repro/planner/x.py")
+
+    def test_dead_store_and_use_before_def(self):
+        findings = analyze_source(
+            "def f(rows):\n"
+            "    scratch = len(rows)\n"  # RA503: never read
+            "    total = total + 1\n"    # RA504: unbound read
+            "    return total\n",
+            "src/repro/anywhere.py",
+        )
+        assert {(f.rule, f.line) for f in findings} == {
+            ("RA503", 2), ("RA504", 3)}
+
+    def test_underscore_stores_not_reported(self):
+        assert rules_at(
+            "def f(pairs):\n"
+            "    total = 0\n"
+            "    for value in pairs:\n"
+            "        total += value\n"
+            "    _ignored = audit(total)\n"
+            "    return total\n",
+            "src/repro/anywhere.py",
+        ) == set()
+
+    def test_maybe_bound_is_not_reported(self):
+        # only *definite* use-before-def is RA504; MAYBE stays silent
+        assert rules_at(
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        v = 1\n"
+            "    return v\n",
+            "src/repro/anywhere.py",
+        ) == set()
+
+
+class TestSuppressionAndFixtures:
+    def test_noqa_silences_dataflow_rule(self):
+        source = (
+            "def f(trie):\n"
+            "    it = trie.iterator()\n"
+            "    it.next()  # repro: noqa[RA401]\n"
+        )
+        assert rules_at(source, "src/repro/other.py") == set()
+
+    EXPECTED = {
+        "bad_cursor.py": {"RA401"},
+        "bad_depth.py": {"RA402"},
+        "bad_prefix_flow.py": {"RA403"},
+        "bad_freeze.py": {"RA404"},
+        "joins/bad_hot_alloc.py": {"RA501"},
+        "joins/bad_linear.py": {"RA501", "RA502"},
+        "bad_dead_store.py": {"RA503"},
+        "bad_use_before_def.py": {"RA504"},
+    }
+
+    @pytest.mark.parametrize("relative,expected",
+                             sorted(EXPECTED.items()))
+    def test_planted_fixture_caught(self, relative, expected):
+        findings = analyze_paths([FIXTURES / "dataflow" / relative])
+        assert expected <= {f.rule for f in findings}
+
+    def test_dataflow_fixture_tree_fails_as_a_whole(self):
+        findings = analyze_paths([FIXTURES / "dataflow"])
+        got = {f.rule for f in findings}
+        assert {"RA401", "RA402", "RA403", "RA404",
+                "RA501", "RA502", "RA503", "RA504"} <= got
+
+    def test_clean_counterexample_stays_clean(self):
+        assert analyze_paths([FIXTURES / "clean"]) == []
+
+
+class TestStaticKnowledgeMatchesRegistry:
+    """The rule tables must track the live registry, not a stale copy."""
+
+    def test_point_only_names_match_supports_prefix(self):
+        pytest.importorskip("numpy")
+        from repro.analysis.dataflow.typestate import (
+            INDEX_CLASSES,
+            POINT_ONLY_CLASSES,
+            POINT_ONLY_NAMES,
+        )
+        from repro.bench import make_sized_index
+        from repro.indexes import registered_indexes
+
+        live_point_only = set()
+        live_classes = set()
+        for name in registered_indexes():
+            index = make_sized_index(name, 2, 4)
+            live_classes.add(type(index).__name__)
+            if not index.SUPPORTS_PREFIX:
+                live_point_only.add(name)
+        assert live_point_only == set(POINT_ONLY_NAMES)
+        assert live_classes == set(INDEX_CLASSES)
+        assert {type(make_sized_index(n, 2, 4)).__name__
+                for n in POINT_ONLY_NAMES} == set(POINT_ONLY_CLASSES)
