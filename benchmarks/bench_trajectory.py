@@ -1,0 +1,205 @@
+"""Perf-trajectory harness: tuple vs batch Generic Join on a pinned suite.
+
+Unlike the ``bench_figNN_*`` files (which reproduce individual paper
+figures via pytest-benchmark), this is a standalone script tracking the
+repo's own performance trajectory across PRs: the same pinned workloads,
+run through both Generic Join execution engines, with the comparison
+written to ``BENCH_generic_join.json`` at the repo root so the numbers are
+versioned alongside the code that produced them.
+
+Suite (seeds and sizes pinned — reruns are comparable):
+
+* ``triangle``  — directed triangle count on uniform random edge
+  relations (Fig 1 / Fig 14's 3-cycle), sweeping edge count;
+* ``4clique``   — the 4-clique query (six atoms, the densest small
+  pattern; stresses deep intersection);
+* ``job_light`` — three JOB-light-style star queries over the synthetic
+  IMDB catalog (§5.16's relational regime, where batch wins are smallest).
+
+Every case runs both engines and **fails loudly on any count divergence**
+— the script doubles as the CI equivalence gate (smoke mode).
+
+Usage::
+
+    python benchmarks/bench_trajectory.py            # full run, ~minutes
+    python benchmarks/bench_trajectory.py --smoke    # CI-sized, seconds
+    python benchmarks/bench_trajectory.py --min-speedup 3.0   # + perf gate
+
+``--min-speedup X`` additionally requires batch to beat tuple by ``X``x
+(probe time) on every triangle case with >= 50k edges; used when
+refreshing the committed full-run JSON, not in smoke mode (wall-clock
+gates on shared CI runners are flake factories).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.graphs import random_edge_relation          # noqa: E402
+from repro.data.imdb import job_light_queries, make_imdb    # noqa: E402
+from repro.joins import join                                # noqa: E402
+from repro.planner.query import parse_query                 # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_generic_join.json"
+ENGINES = ("tuple", "batch")
+
+TRIANGLE = parse_query("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+FOUR_CLIQUE = parse_query(
+    "E1=E(a,b), E2=E(a,c), E3=E(a,d), E4=E(b,c), E5=E(b,d), E6=E(c,d)"
+)
+
+#: pinned sweep points: (nodes, edges) per triangle case
+TRIANGLE_SIZES = ((2_000, 10_000), (6_000, 50_000), (10_000, 100_000))
+TRIANGLE_SIZES_SMOKE = ((600, 2_000),)
+#: 4-clique needs denser, smaller graphs to have non-trivial results
+CLIQUE_SIZES = ((300, 6_000), (600, 15_000))
+CLIQUE_SIZES_SMOKE = ((120, 1_200),)
+#: JOB-light-style: catalog scale and which queries from the workload
+IMDB_TITLES = 4_000
+IMDB_TITLES_SMOKE = 400
+JOB_QUERY_NAMES = ("job_1_cast_info", "job_2_cast_info_keyword",
+                   "job_3_cast_info_info_companies")
+
+GRAPH_SEED = 13
+
+
+def _run_engine(query, relations, engine: str, index: str, repeats: int):
+    """Best-of-``repeats`` timings for one (query, engine) cell."""
+    best = None
+    for _ in range(repeats):
+        result = join(query, relations, index=index, engine=engine)
+        metrics = result.metrics
+        if best is None or metrics.probe_seconds < best["probe_s"]:
+            best = {
+                "count": result.count,
+                "build_s": round(metrics.build_seconds, 6),
+                "probe_s": round(metrics.probe_seconds, 6),
+                "total_s": round(metrics.total_seconds, 6),
+                "intermediates": metrics.intermediate_tuples,
+                "lookups": metrics.lookups,
+            }
+    return best
+
+
+def _run_case(name: str, workload: str, query, relations,
+              index: str, repeats: int, detail: dict) -> dict:
+    case = {"name": name, "workload": workload, "index": index, **detail}
+    for engine in ENGINES:
+        case[engine] = _run_engine(query, relations, engine, index, repeats)
+    counts = {engine: case[engine]["count"] for engine in ENGINES}
+    case["count"] = counts["tuple"]
+    case["diverged"] = len(set(counts.values())) > 1
+    tuple_probe, batch_probe = case["tuple"]["probe_s"], case["batch"]["probe_s"]
+    tuple_total, batch_total = case["tuple"]["total_s"], case["batch"]["total_s"]
+    case["probe_speedup"] = round(tuple_probe / batch_probe, 3) if batch_probe else None
+    case["total_speedup"] = round(tuple_total / batch_total, 3) if batch_total else None
+    status = "DIVERGED" if case["diverged"] else "ok"
+    print(f"  {name:42s} count={counts['tuple']:<10d} "
+          f"probe {tuple_probe:.3f}s -> {batch_probe:.3f}s "
+          f"({case['probe_speedup']}x)  [{status}]")
+    return case
+
+
+def run_suite(smoke: bool, index: str, repeats: int) -> list[dict]:
+    cases: list[dict] = []
+
+    print("triangle:")
+    for nodes, edges in (TRIANGLE_SIZES_SMOKE if smoke else TRIANGLE_SIZES):
+        relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+        relations = {"E1": relation, "E2": relation, "E3": relation}
+        cases.append(_run_case(
+            f"triangle_n{nodes}_m{edges}", "triangle", TRIANGLE, relations,
+            index, repeats, {"nodes": nodes, "edges": edges}))
+
+    print("4clique:")
+    for nodes, edges in (CLIQUE_SIZES_SMOKE if smoke else CLIQUE_SIZES):
+        relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED + 1)
+        relations = {alias: relation
+                     for alias in ("E1", "E2", "E3", "E4", "E5", "E6")}
+        cases.append(_run_case(
+            f"4clique_n{nodes}_m{edges}", "4clique", FOUR_CLIQUE, relations,
+            index, repeats, {"nodes": nodes, "edges": edges}))
+
+    print("job_light:")
+    catalog = make_imdb(IMDB_TITLES_SMOKE if smoke else IMDB_TITLES,
+                        seed=GRAPH_SEED)
+    workload = {q.name: q for q in job_light_queries(catalog, seed=GRAPH_SEED)}
+    for name in JOB_QUERY_NAMES:
+        job = workload[name]
+        cases.append(_run_case(
+            name, "job_light", job.query, job.relations, index, repeats,
+            {"satellites": len(job.query.atoms) - 1}))
+
+    return cases
+
+
+def check_gates(cases: list[dict], min_speedup: float) -> list[str]:
+    """Equivalence gate (always) and optional triangle speedup gate."""
+    failures = []
+    for case in cases:
+        if case["diverged"]:
+            counts = {engine: case[engine]["count"] for engine in ENGINES}
+            failures.append(f"{case['name']}: engines diverged ({counts})")
+    if min_speedup > 0:
+        gated = [c for c in cases
+                 if c["workload"] == "triangle" and c.get("edges", 0) >= 50_000]
+        if not gated:
+            failures.append(
+                f"--min-speedup given but no triangle case with >=50k edges ran"
+            )
+        for case in gated:
+            if (case["probe_speedup"] or 0) < min_speedup:
+                failures.append(
+                    f"{case['name']}: probe speedup {case['probe_speedup']}x "
+                    f"below the {min_speedup}x gate"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized inputs (seconds, not minutes)")
+    parser.add_argument("--index", default="sonic",
+                        help="index structure for both engines (default: sonic)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N per cell (default: 3, smoke: 1)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless batch beats tuple by this factor "
+                             "(probe time) on triangles with >=50k edges")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    cases = run_suite(args.smoke, args.index, repeats)
+    failures = check_gates(cases, args.min_speedup)
+
+    payload = {
+        "suite": "generic_join_trajectory",
+        "engines": list(ENGINES),
+        "index": args.index,
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "graph_seed": GRAPH_SEED,
+        "cases": cases,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output} ({len(cases)} cases)")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,9 +22,13 @@ registry name    structure                                        prefix?
 
 from repro.indexes.art import AdaptiveRadixTree
 from repro.indexes.base import (
+    BatchCursor,
+    CursorBatchCursor,
+    FallbackBatchCursor,
     FallbackCursor,
     PointIndex,
     PrefixCursor,
+    SyncedBatchCursor,
     TupleIndex,
 )
 from repro.indexes.bitvector import BitVector, BitVectorBuilder
@@ -34,6 +38,7 @@ from repro.indexes.hashtrie import HashTrie
 from repro.indexes.hattrie import HatTrie
 from repro.indexes.hierarchical import HierarchicalHashMap
 from repro.indexes.registry import (
+    batch_capable_indexes,
     ensure_registered,
     make_index,
     prefix_capable_indexes,
@@ -46,9 +51,12 @@ from repro.indexes.surf import SuccinctRangeFilter
 
 __all__ = [
     "AdaptiveRadixTree",
+    "BatchCursor",
     "BitVector",
     "BitVectorBuilder",
     "BPlusTree",
+    "CursorBatchCursor",
+    "FallbackBatchCursor",
     "FallbackCursor",
     "HashTrie",
     "HatTrie",
@@ -60,8 +68,10 @@ __all__ = [
     "SortedTrie",
     "SuccinctRangeFilter",
     "SwissTableSet",
+    "SyncedBatchCursor",
     "TrieIterator",
     "TupleIndex",
+    "batch_capable_indexes",
     "ensure_registered",
     "make_index",
     "prefix_capable_indexes",

@@ -16,23 +16,33 @@ useful extra baseline for the prefix-operation experiments.
 from __future__ import annotations
 
 import bisect
+import heapq
 from collections.abc import Iterator
 from typing import ClassVar
 
+import numpy as np
+
 from repro.errors import QueryError
-from repro.indexes.base import PrefixCursor, TupleIndex
+from repro.indexes.base import (
+    PrefixCursor,
+    SyncedBatchCursor,
+    TupleIndex,
+    value_array,
+)
 
 
 class SortedTrie(TupleIndex):
     """A static trie view over one sorted tuple array."""
 
     NAME: ClassVar[str] = "sortedtrie"
+    SUPPORTS_BATCH: ClassVar[bool] = True
 
     def __init__(self, arity: int):
         super().__init__(arity)
         self._pending: list[tuple] = []
         self._rows: list[tuple] = []
         self._dirty = False
+        self._batch_columns: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------
     # Build (sort-on-freeze, like any sort-based join preparation)
@@ -43,12 +53,31 @@ class SortedTrie(TupleIndex):
         self._dirty = True
 
     def _ensure_sorted(self) -> None:
-        if self._dirty:
-            merged = sorted(set(self._rows) | set(self._pending))
-            self._rows = merged
-            self._pending = []
-            self._size = len(merged)
-            self._dirty = False
+        """Flush pending inserts into the sorted base array.
+
+        The base is already sorted and duplicate-free, so a flush is a
+        linear merge of the sorted pending batch into it — not a full
+        re-sort of everything ever inserted (this flush sits directly
+        under the probe path of every lookup and batch kernel).
+        """
+        if not self._dirty:
+            return
+        pending = sorted(set(self._pending))
+        base = self._rows
+        if not base:
+            merged = pending
+        elif not pending:
+            merged = base
+        else:
+            # both inputs sorted & internally duplicate-free: merge keeps
+            # global order and makes cross-input duplicates adjacent, so
+            # dict.fromkeys drops them in one ordered pass
+            merged = list(dict.fromkeys(heapq.merge(base, pending)))
+        self._rows = merged
+        self._pending = []
+        self._size = len(merged)
+        self._dirty = False
+        self._batch_columns = None
 
     @property
     def rows(self) -> list[tuple]:
@@ -130,6 +159,30 @@ class SortedTrie(TupleIndex):
     def cursor(self) -> "SortedTrieCursor":
         """Native cursor: binary-search range narrowing per descend."""
         return SortedTrieCursor(self)
+
+    def batch_cursor(self) -> "SortedTrieBatchCursor":
+        """Native batch kernel: vectorized range intersection (§Free Join).
+
+        Columnar views of the sorted array are materialized lazily, once
+        per index, and shared by every cursor over it.
+        """
+        return SortedTrieBatchCursor(self)
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """Per-component arrays over the sorted rows (lazy, cached).
+
+        Column ``i`` lists component ``i`` of every stored tuple in
+        lexicographic row order — the layout the batch kernel's
+        ``searchsorted`` range narrowing runs on.
+        """
+        self._ensure_sorted()
+        if self._batch_columns is None:
+            rows = self._rows
+            self._batch_columns = tuple(
+                value_array([row[position] for row in rows])
+                for position in range(self.arity)
+            )
+        return self._batch_columns
 
 
 class _Top:
@@ -274,4 +327,47 @@ class SortedTrieCursor(PrefixCursor):
 
     def count(self) -> int:
         low, high = self._ranges[-1]
+        return high - low
+
+
+class SortedTrieBatchCursor(SyncedBatchCursor):
+    """Vectorized :class:`~repro.indexes.base.BatchCursor` over the sorted array.
+
+    A node is a half-open row range sharing the bound prefix; descending is
+    two ``np.searchsorted`` calls on the next column's range slice (the
+    galloping of :class:`SortedTrieCursor`, batched), ``candidates`` is one
+    ``np.unique`` over the slice, and ``probe_many`` is one vectorized
+    binary search of the whole candidate vector against the cached
+    children array.  Exact at every depth.
+    """
+
+    __slots__ = ("_columns", "_arity")
+
+    def __init__(self, trie: SortedTrie):
+        self._columns = trie.columns()
+        self._arity = trie.arity
+        rows = trie.rows
+        super().__init__((0, len(rows)))
+
+    def _descend_frame(self, frame, depth: int, value):
+        if depth >= self._arity:
+            raise QueryError("batch cursor already at full depth")
+        low, high = frame
+        if low >= high:
+            return None
+        window = self._columns[depth][low:high]
+        new_low = low + int(np.searchsorted(window, value, side="left"))
+        new_high = low + int(np.searchsorted(window, value, side="right"))
+        if new_low >= new_high:
+            return None
+        return new_low, new_high
+
+    def _children_array(self, frame, depth: int) -> np.ndarray:
+        if depth >= self._arity:
+            raise QueryError("batch cursor at full depth has no children")
+        low, high = frame
+        return np.unique(self._columns[depth][low:high])
+
+    def _frame_count(self, frame, depth: int) -> int:
+        low, high = frame
         return high - low

@@ -1,8 +1,10 @@
 """Join algorithms: Generic Join, binary pipeline, Hash-Trie Join, LFTJ."""
 
+from repro.joins.batch import GenericJoinBatch
 from repro.joins.binary import BinaryHashJoin
 from repro.joins.executor import (
     ALGORITHMS,
+    ENGINES,
     build_adapters,
     join,
     resolve_relations,
@@ -24,7 +26,9 @@ __all__ = [
     "ALGORITHMS",
     "BinaryHashJoin",
     "CountingSink",
+    "ENGINES",
     "GenericJoin",
+    "GenericJoinBatch",
     "HashTrieJoin",
     "JoinMetrics",
     "JoinResult",

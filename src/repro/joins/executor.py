@@ -28,6 +28,7 @@ from repro.core.adapter import IndexAdapter
 from repro.core.config import SonicConfig
 from repro.errors import ConfigurationError, QueryError
 from repro.indexes.registry import make_index
+from repro.joins.batch import GenericJoinBatch
 from repro.joins.binary import BinaryHashJoin
 from repro.joins.generic_join import GenericJoin
 from repro.joins.hashtrie_join import HashTrieJoin
@@ -42,6 +43,11 @@ from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 
 ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog", "recursive", "auto")
+
+#: execution models for the Generic Join driver: tuple-at-a-time (the
+#: paper's Alg. 1 rendering), batch-at-a-time (vectorized candidate
+#: intersection), or auto (batch iff every adapter has a native kernel)
+ENGINES = ("tuple", "batch", "auto")
 
 
 def _debug_enabled(debug: "bool | None") -> bool:
@@ -120,6 +126,7 @@ def join(query: "JoinQuery | str",
          materialize: bool = False,
          dynamic_seed: bool = True,
          binary_order: Sequence[str] | None = None,
+         engine: str = "tuple",
          debug: "bool | None" = None,
          **index_kwargs) -> JoinResult:
     """Plan, build and execute a join query; returns a :class:`JoinResult`.
@@ -134,6 +141,16 @@ def join(query: "JoinQuery | str",
     ``binary_order`` pins the binary pipeline's join order (Fig 1's
     order-sensitivity axis).
 
+    ``engine`` selects the Generic Join execution model: ``"tuple"``
+    (default, the paper's tuple-at-a-time Alg. 1), ``"batch"``
+    (vectorized candidate intersection,
+    :class:`~repro.joins.batch.GenericJoinBatch`; every index works —
+    structures without a native kernel run through the per-value
+    fallback shim), or ``"auto"`` (batch iff every adapter advertises
+    ``SUPPORTS_BATCH``).  Both engines produce identical results; only
+    constant factors differ.  The knob is ignored by the non-generic
+    algorithms, which have no batch rendering.
+
     ``debug`` (default: the ``REPRO_DEBUG`` environment variable) runs the
     static plan validator (:mod:`repro.analysis.plancheck`) on the
     resolved plan before execution, raising
@@ -145,6 +162,10 @@ def join(query: "JoinQuery | str",
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
         )
     debug = _debug_enabled(debug)
     relations = resolve_relations(query, source)
@@ -179,7 +200,12 @@ def join(query: "JoinQuery | str",
     adapters = build_adapters(query, relations, total, index=index,
                               **index_kwargs)
     build_seconds = watch.lap()
-    driver = GenericJoin(query, adapters, order=total, dynamic_seed=dynamic_seed)
+    use_batch = engine == "batch" or (
+        engine == "auto"
+        and all(a.supports_batch for a in adapters.values())
+    )
+    driver_cls = GenericJoinBatch if use_batch else GenericJoin
+    driver = driver_cls(query, adapters, order=total, dynamic_seed=dynamic_seed)
     driver.metrics.index = index
     driver.metrics.build_seconds = build_seconds
     return driver.run(materialize=materialize)

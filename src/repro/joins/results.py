@@ -23,6 +23,14 @@ class ResultSink:
     def emit(self, row: tuple) -> None:
         raise NotImplementedError
 
+    def emit_suffixes(self, prefix: tuple, values: Sequence) -> None:
+        """Emit ``prefix + (value,)`` for every value — the batch engine's
+        last-level fast path.  Sinks that never materialize override this
+        to skip per-result tuple construction entirely."""
+        for value in values:
+            # each emitted result IS a fresh tuple; counting sinks override
+            self.emit(prefix + (value,))  # repro: noqa[RA501]
+
     @property
     def count(self) -> int:
         raise NotImplementedError
@@ -36,6 +44,9 @@ class CountingSink(ResultSink):
 
     def emit(self, row: tuple) -> None:
         self._count += 1
+
+    def emit_suffixes(self, prefix: tuple, values: Sequence) -> None:
+        self._count += len(values)
 
     @property
     def count(self) -> int:

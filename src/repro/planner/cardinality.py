@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+import numpy as np
+
 from repro.storage.relation import Relation
 
 
@@ -53,7 +55,13 @@ class Statistics:
         self._cardinality[key] = len(relation)
         distinct = {}
         for attribute in relation.schema:
-            distinct[attribute] = len(set(relation.column(attribute)))
+            column = relation.column_array(attribute)
+            if column.dtype == object:
+                # object columns may hold mutually-incomparable values,
+                # which np.unique's sort cannot handle
+                distinct[attribute] = len(set(column.tolist()))
+            else:
+                distinct[attribute] = int(np.unique(column).size)
         self._distinct[key] = distinct
 
     def cardinality(self, key: str) -> int:

@@ -18,14 +18,30 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import SchemaError
 from repro.storage.schema import Schema
+
+
+def _column_array(values: list) -> np.ndarray:
+    """Column values as ``int64`` when every value fits, else ``object``.
+
+    The object fallback is built element-wise — ``np.asarray`` on a mixed
+    list would stringify or broadcast instead of holding the values.
+    """
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        array = np.empty(len(values), dtype=object)
+        array[:] = values
+        return array
 
 
 class Relation:
     """An immutable, named collection of tuples over a schema."""
 
-    __slots__ = ("name", "schema", "_rows", "_columns")
+    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays")
 
     def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[tuple]):
         if not isinstance(schema, Schema):
@@ -44,6 +60,7 @@ class Relation:
             stored.append(row)
         self._rows = stored
         self._columns: dict[int, list] | None = None
+        self._arrays: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -80,6 +97,28 @@ class Relation:
         if position not in self._columns:
             self._columns[position] = [row[position] for row in self._rows]
         return self._columns[position]
+
+    def column_array(self, attribute: str) -> np.ndarray:
+        """``attribute``'s values as a numpy array, in row order.
+
+        ``int64`` when every value fits, ``object`` dtype otherwise.  The
+        array is materialized once per position and cached; renamed views
+        share the cache (attribute names differ, positions do not), so the
+        batch join engine, the workload generators and the statistics
+        collector all see the same backing arrays.  Treat as read-only.
+        """
+        return self._array(self.schema.position(attribute))
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """All columns as numpy arrays, in schema position order."""
+        return tuple(self._array(i) for i in range(self.arity))
+
+    def _array(self, position: int) -> np.ndarray:
+        array = self._arrays.get(position)
+        if array is None:
+            array = _column_array([row[position] for row in self._rows])
+            self._arrays[position] = array
+        return array
 
     # ------------------------------------------------------------------
     # Relational operations used by the join drivers and generators
@@ -128,6 +167,7 @@ class Relation:
         view.schema = Schema(attributes)
         view._rows = self._rows
         view._columns = None
+        view._arrays = self._arrays   # positions align, so arrays are shared
         return view
 
     def distinct(self, name: str | None = None) -> "Relation":

@@ -1,0 +1,160 @@
+"""BatchCursor protocol tests across native kernels and the fallback shim.
+
+Each batch cursor is checked against its index's exact prefix interface:
+``candidates`` must equal the sorted distinct next-component values at the
+final depth (payload-exact), ``probe_many`` must agree with ``has_prefix``
+value-by-value, and random out-of-order prefix sequences must not confuse
+the internal descent-stack sync.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.indexes import batch_capable_indexes, make_index
+from repro.indexes.base import (
+    EMPTY_VALUES,
+    FallbackBatchCursor,
+    membership_mask,
+    sorted_value_array,
+    value_array,
+)
+
+#: native kernels plus one fallback-shim structure, all arity 3
+CURSOR_INDEXES = ("sonic", "sortedtrie", "hashtrie", "btree")
+
+
+def build_index(name: str, rows):
+    index = make_index(name, 3)
+    for row in rows:
+        index.insert(row)
+    return index
+
+
+def random_rows(count: int, domain: int, seed: int) -> list[tuple]:
+    rng = random.Random(seed)
+    return sorted({(rng.randrange(domain), rng.randrange(domain),
+                    rng.randrange(domain)) for _ in range(count)})
+
+
+@pytest.fixture(params=CURSOR_INDEXES)
+def indexed(request):
+    rows = random_rows(200, 8, seed=3)
+    return request.param, build_index(request.param, rows), rows
+
+
+def expected_children(rows, prefix):
+    depth = len(prefix)
+    return sorted({row[depth] for row in rows if row[:depth] == prefix})
+
+
+class TestCandidates:
+    def test_root_candidates_cover_first_components(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        got = set(cursor.candidates(()).tolist())
+        assert got >= set(expected_children(rows, ()))
+
+    def test_final_depth_exact(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        for prefix in sorted({row[:2] for row in rows}):
+            got = cursor.candidates(prefix).tolist()
+            assert got == expected_children(rows, prefix), (name, prefix)
+
+    def test_missing_prefix_empty(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        assert cursor.candidates((999, 999)).size == 0
+
+    def test_candidates_sorted_and_distinct(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        for prefix in [(), (rows[0][0],), rows[0][:2]]:
+            values = cursor.candidates(prefix).tolist()
+            assert values == sorted(set(values)), (name, prefix)
+
+
+class TestProbeMany:
+    def test_agrees_with_has_prefix_at_final_depth(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        probe_values = value_array(list(range(10)))
+        for prefix in sorted({row[:2] for row in rows})[:20]:
+            mask = cursor.probe_many(prefix, probe_values)
+            expected = [index.has_prefix(prefix + (v,)) for v in range(10)]
+            assert mask.tolist() == expected, (name, prefix)
+
+    def test_empty_values_vector(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        mask = cursor.probe_many((), EMPTY_VALUES)
+        assert mask.size == 0
+
+
+class TestSync:
+    def test_out_of_order_prefix_sequence(self, indexed):
+        """Random prefix jumps (backtracks, sibling switches, re-visits)
+        must all answer exactly — the sync/memo layer cannot depend on
+        depth-first access order."""
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        rng = random.Random(17)
+        prefixes = sorted({row[:2] for row in rows} | {row[:1] for row in rows})
+        for _ in range(200):
+            prefix = prefixes[rng.randrange(len(prefixes))]
+            got = cursor.candidates(prefix).tolist()
+            expected = expected_children(rows, prefix)
+            if len(prefix) == 2:
+                assert got == expected, (name, prefix)
+            else:
+                assert set(got) >= set(expected), (name, prefix)
+
+    def test_count_is_positive_on_stored_prefixes(self, indexed):
+        name, index, rows = indexed
+        cursor = index.batch_cursor()
+        for prefix in sorted({row[:1] for row in rows})[:5]:
+            assert cursor.count(prefix) > 0
+        assert cursor.count((999,)) == 0
+
+
+class TestRegistryCapabilities:
+    def test_batch_capable_indexes_list_native_kernels(self):
+        capable = set(batch_capable_indexes())
+        assert {"sonic", "sortedtrie", "hashtrie"} <= capable
+        assert "btree" not in capable
+
+    def test_fallback_shim_serves_non_native_indexes(self):
+        index = build_index("btree", [(1, 2, 3), (1, 2, 4)])
+        cursor = index.batch_cursor()
+        assert isinstance(cursor, FallbackBatchCursor)
+        assert cursor.candidates((1, 2)).tolist() == [3, 4]
+
+
+class TestArrayHelpers:
+    def test_membership_mask_basic(self):
+        children = np.array([2, 4, 6, 8], dtype=np.int64)
+        values = np.array([1, 2, 5, 8, 9], dtype=np.int64)
+        assert membership_mask(children, values).tolist() == [
+            False, True, False, True, False]
+
+    def test_membership_mask_empty_children(self):
+        values = np.array([1, 2], dtype=np.int64)
+        assert membership_mask(EMPTY_VALUES, values).tolist() == [False, False]
+
+    def test_membership_mask_mixed_dtypes(self):
+        children = np.array([1, 2, 3], dtype=np.int64)
+        values = np.empty(2, dtype=object)
+        values[:] = [2, "x"]
+        assert membership_mask(children, values).tolist() == [True, False]
+
+    def test_value_array_strings(self):
+        array = value_array(["b", "a"])
+        assert array.dtype.kind in ("U", "O")
+        assert sorted_value_array(["b", "a"]).tolist() == ["a", "b"]
+
+    def test_value_array_mixed_falls_back_to_object(self):
+        array = value_array([1, "x"])
+        assert array.dtype == object
+        assert array.tolist() == [1, "x"]
