@@ -29,6 +29,14 @@ Usage::
 (probe time) on every triangle case with >= 50k edges; used when
 refreshing the committed full-run JSON, not in smoke mode (wall-clock
 gates on shared CI runners are flake factories).
+
+The run also measures the **observability overhead** (``obs_overhead``
+in the output JSON): probe time with no observer vs a present-but-
+disabled :class:`~repro.obs.observer.JoinObserver` vs full profiling.
+``--max-obs-overhead`` (default 5%) fails the run if the disabled
+observer is measurably slower than none at all — the teeth behind the
+``obs.enabled`` branch-once discipline that lint rule RA601 checks
+statically.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.data.graphs import random_edge_relation          # noqa: E402
 from repro.data.imdb import job_light_queries, make_imdb    # noqa: E402
 from repro.joins import join                                # noqa: E402
+from repro.obs.observer import JoinObserver                 # noqa: E402
 from repro.planner.query import parse_query                 # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_generic_join.json"
@@ -139,9 +148,76 @@ def run_suite(smoke: bool, index: str, repeats: int) -> list[dict]:
     return cases
 
 
-def check_gates(cases: list[dict], min_speedup: float) -> list[str]:
-    """Equivalence gate (always) and optional triangle speedup gate."""
+#: (nodes, edges) for the obs-overhead measurement (mid-size triangle)
+OBS_GRAPH = (6_000, 50_000)
+OBS_GRAPH_SMOKE = (600, 2_000)
+OBS_REPEATS = 5
+
+
+def measure_obs_overhead(smoke: bool, index: str) -> dict:
+    """Probe time with the observer absent vs disabled vs profiling.
+
+    Disabled must cost the same as absent: the drivers branch exactly
+    once per run on ``obs.enabled`` and the un-instrumented recursion
+    contains no observability code (lint rule RA601 guards the
+    discipline; this measures it).  Best-of-``OBS_REPEATS`` keeps the
+    ratio out of scheduler noise.
+    """
+    nodes, edges = OBS_GRAPH_SMOKE if smoke else OBS_GRAPH
+    relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+    relations = {"E1": relation, "E2": relation, "E3": relation}
+
+    timings: dict[str, float] = {}
+    for mode in ("absent", "disabled", "profiled"):
+        best = None
+        for _ in range(OBS_REPEATS):
+            if mode == "disabled":
+                extra = {"obs": JoinObserver.disabled()}
+            elif mode == "profiled":
+                extra = {"profile": True}
+            else:
+                extra = {}
+            result = join(TRIANGLE, relations, index=index, engine="tuple",
+                          **extra)
+            probe = result.metrics.probe_seconds
+            if best is None or probe < best:
+                best = probe
+        timings[mode] = best
+
+    overhead_pct = (100.0 * (timings["disabled"] - timings["absent"])
+                    / timings["absent"]) if timings["absent"] else 0.0
+    profiled_pct = (100.0 * (timings["profiled"] - timings["absent"])
+                    / timings["absent"]) if timings["absent"] else 0.0
+    report = {
+        "workload": f"triangle_n{nodes}_m{edges}",
+        "repeats": OBS_REPEATS,
+        "absent_probe_s": round(timings["absent"], 6),
+        "disabled_probe_s": round(timings["disabled"], 6),
+        "profiled_probe_s": round(timings["profiled"], 6),
+        "disabled_overhead_pct": round(overhead_pct, 2),
+        "profiled_overhead_pct": round(profiled_pct, 2),
+    }
+    print("obs overhead:")
+    print(f"  absent {timings['absent']:.4f}s  "
+          f"disabled {timings['disabled']:.4f}s "
+          f"({report['disabled_overhead_pct']:+.2f}%)  "
+          f"profiled {timings['profiled']:.4f}s "
+          f"({report['profiled_overhead_pct']:+.2f}%)")
+    return report
+
+
+def check_gates(cases: list[dict], min_speedup: float,
+                obs_overhead: "dict | None" = None,
+                max_obs_overhead: float = 0.0) -> list[str]:
+    """Equivalence gate (always) and the optional speedup/overhead gates."""
     failures = []
+    if obs_overhead is not None and max_obs_overhead > 0:
+        measured = obs_overhead["disabled_overhead_pct"]
+        if measured > max_obs_overhead:
+            failures.append(
+                f"obs overhead: disabled observer costs {measured:+.2f}% "
+                f"probe time vs absent (gate: {max_obs_overhead}%)"
+            )
     for case in cases:
         if case["diverged"]:
             counts = {engine: case[engine]["count"] for engine in ENGINES}
@@ -173,13 +249,20 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="fail unless batch beats tuple by this factor "
                              "(probe time) on triangles with >=50k edges")
+    parser.add_argument("--max-obs-overhead", type=float, default=5.0,
+                        help="fail if a disabled observer costs more than "
+                             "this %% probe time vs no observer at all "
+                             "(default: 5; <=0 disables the gate)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help=f"output JSON path (default: {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.smoke else 3)
 
     cases = run_suite(args.smoke, args.index, repeats)
-    failures = check_gates(cases, args.min_speedup)
+    obs_overhead = measure_obs_overhead(args.smoke, args.index)
+    failures = check_gates(cases, args.min_speedup,
+                           obs_overhead=obs_overhead,
+                           max_obs_overhead=args.max_obs_overhead)
 
     payload = {
         "suite": "generic_join_trajectory",
@@ -189,6 +272,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "graph_seed": GRAPH_SEED,
         "cases": cases,
+        "obs_overhead": obs_overhead,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output} ({len(cases)} cases)")

@@ -10,6 +10,7 @@ Subcommands::
 
     python -m repro selfcheck          # the default: algorithm/index sweep
     python -m repro analysis [args…]   # static analysis (see repro.analysis)
+    python -m repro obs [args…]        # join profiler (see repro.obs)
 """
 
 from __future__ import annotations
@@ -66,8 +67,12 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.analysis.cli import main as analysis_main
 
         return analysis_main(argv[1:])
+    if argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     print(f"unknown subcommand {argv[0]!r}; "
-          "usage: python -m repro [selfcheck | analysis …]",
+          "usage: python -m repro [selfcheck | analysis | obs …]",
           file=sys.stderr)
     return 2
 

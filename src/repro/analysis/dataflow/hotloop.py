@@ -1,4 +1,4 @@
-"""Hot-loop hygiene detection (RA501/RA502).
+"""Hot-loop hygiene detection (RA501/RA502) and obs routing (RA601).
 
 The paper's per-probe cost argument (§5.2) assumes the inner join loops
 do O(1) work per binding beyond the index operations themselves; a
@@ -29,6 +29,14 @@ Both rules are *warnings*: a human must judge whether the allocation is
 on the per-probe path or amortised (e.g. done once per output tuple).
 Suppress deliberate ones with ``# repro: noqa[RA501]`` or adopt them
 into ``analysis-baseline.json``.
+
+:func:`scan_unguarded_obs` (RA601) guards the observability discipline
+of ``repro.obs``: method calls on metrics/tracer/observer receivers
+inside an **innermost loop** must sit under an ``if …enabled:`` branch
+(an ``.enabled`` attribute test, or a name ending in ``enabled``), so
+disabled instrumentation can never silently tax the probe path.  Plain
+``+=`` accumulation into local counters or slot attributes is the
+sanctioned alternative and is never flagged.
 """
 
 from __future__ import annotations
@@ -166,6 +174,101 @@ def _describe_linear(node: ast.AST) -> "str | None":
             return (f".{func.attr}() scans the sequence linearly on every "
                     "iteration")
     return None
+
+
+# ----------------------------------------------------------------------
+# RA601 — unguarded observability calls in innermost loops
+# ----------------------------------------------------------------------
+
+#: receiver-name segments that mark a call as observability plumbing
+_OBS_RECEIVERS = frozenset({
+    "obs", "_obs", "observer", "_observer",
+    "metrics", "_metrics", "tracer", "_tracer",
+})
+#: obs-API method names that mark a call even off a recognised receiver
+_OBS_METHODS = frozenset({"inc", "observe", "span", "add_span", "record_build"})
+
+
+def _attr_parts(node: ast.AST) -> list[str]:
+    """Names along an attribute chain, method first (``a.b.c()`` →
+    ``["c", "b", "a"]``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return parts
+
+
+def _obs_call_method(node: ast.AST) -> "str | None":
+    """The method name if ``node`` is an obs-ish method call, else None."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)):
+        return None
+    parts = _attr_parts(node.func)
+    method, receivers = parts[0], parts[1:]
+    if any(part in _OBS_RECEIVERS for part in receivers):
+        return method
+    if method in _OBS_METHODS and receivers:
+        return method
+    return None
+
+
+def _test_mentions_enabled(test: ast.AST) -> bool:
+    """Does an ``if`` test look like the null-object enabled guard?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Name) and node.id.endswith("enabled"):
+            return True
+    return False
+
+
+def _scan_obs_stmts(stmts, guarded: bool) -> Iterator[tuple[ast.AST, str]]:
+    for stmt in stmts:
+        if isinstance(stmt, _FUNCS):
+            continue  # a nested def's body is its own scope
+        if isinstance(stmt, ast.If):
+            yield from _scan_obs_stmts(
+                stmt.body, guarded or _test_mentions_enabled(stmt.test))
+            yield from _scan_obs_stmts(stmt.orelse, guarded)
+            continue
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if not guarded:
+                for item in stmt.items:
+                    yield from _scan_obs_exprs(item.context_expr)
+            yield from _scan_obs_stmts(stmt.body, guarded)
+            continue
+        if isinstance(stmt, ast.Try):
+            yield from _scan_obs_stmts(stmt.body, guarded)
+            for handler in stmt.handlers:
+                yield from _scan_obs_stmts(handler.body, guarded)
+            yield from _scan_obs_stmts(stmt.orelse, guarded)
+            yield from _scan_obs_stmts(stmt.finalbody, guarded)
+            continue
+        if not guarded:
+            yield from _scan_obs_exprs(stmt)
+
+
+def _scan_obs_exprs(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    for sub in ast.walk(node):
+        method = _obs_call_method(sub)
+        if method is not None:
+            yield (sub, method)
+
+
+def scan_unguarded_obs(tree: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(call_node, method_name)`` for every obs-ish method call
+    inside an innermost loop that is not routed through an
+    ``…enabled``-style guard (RA601).  ``else`` branches of a guard are
+    scanned with the *outer* guard state — guarding the then-branch does
+    not bless the else-branch."""
+    for node in ast.walk(tree):
+        if isinstance(node, _LOOPS):
+            body = list(node.body) + list(node.orelse)
+            if not _contains_loop(body):
+                yield from _scan_obs_stmts(body, False)
 
 
 def scan_hot_regions(tree: ast.AST) -> Iterator[tuple[ast.AST, str, str]]:

@@ -1,4 +1,4 @@
-"""Dataflow-backed lint rules (RA401–RA404, RA501–RA504).
+"""Dataflow-backed lint rules (RA401–RA404, RA501–RA504, RA601).
 
 These rules plug the CFG/fixpoint machinery of
 :mod:`repro.analysis.dataflow` into the ordinary lint registry, so the
@@ -17,6 +17,9 @@ like the syntactic RA1xx family:
 * **RA502** — known-O(n) work inside a hot region.
 * **RA503** — dead stores (assigned, never read on any path).
 * **RA504** — definite use-before-def (guaranteed ``NameError``).
+* **RA601** — observability calls (metrics/tracer/observer methods) in
+  an innermost loop not routed through the null-object ``.enabled``
+  guard, so instrumentation can never regress the hot path silently.
 
 Definite violations are errors; may-violations (only on *some* path) are
 warnings — the per-finding severity comes from the analysis itself, not
@@ -37,7 +40,7 @@ from typing import ClassVar
 
 from repro.analysis.astutil import collect_import_aliases
 from repro.analysis.dataflow.cfg import build_cfg, function_cfgs
-from repro.analysis.dataflow.hotloop import scan_hot_regions
+from repro.analysis.dataflow.hotloop import scan_hot_regions, scan_unguarded_obs
 from repro.analysis.dataflow.reaching import dead_stores, use_before_def
 from repro.analysis.dataflow.solver import report_fixed_point, solve_forward
 from repro.analysis.dataflow.typestate import TypestateAnalysis
@@ -188,6 +191,33 @@ class HotLoopLinearRule(_HotLoopRule):
 
     code = "RA502"
     title = "O(n) operation inside a hot region"
+
+
+@register_rule
+class UnguardedObsRule(_HotLoopRule):
+    """Obs call in an innermost loop outside the ``.enabled`` pattern.
+
+    The ``repro.obs`` contract (see its module docs and the overhead gate
+    in ``benchmarks/bench_trajectory.py``): hot loops in ``joins/`` and
+    ``indexes/`` may only call metrics/tracer/observer methods behind an
+    ``if …enabled:`` branch — either an ``.enabled`` attribute test or a
+    hoisted flag whose name ends in ``enabled``.  Plain ``+=`` counter
+    accumulation (flushed after the loop) is the sanctioned alternative
+    and is not flagged.
+    """
+
+    code = "RA601"
+    title = "unguarded observability call in a hot loop"
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node, method in scan_unguarded_obs(tree):
+            yield self.finding(
+                path, node,
+                f"obs call .{method}() inside an innermost loop without an "
+                "`.enabled` guard; branch on `<metrics/tracer/obs>.enabled` "
+                "(or a hoisted `*_enabled` flag), or accumulate locally and "
+                "flush outside the loop",
+            )
 
 
 @register_rule

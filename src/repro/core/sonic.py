@@ -1075,3 +1075,12 @@ class SonicBatchCursor(CursorBatchCursor):
 
     def __init__(self, index: SonicIndex):
         super().__init__(SonicCursor(index))
+
+    def _children_array(self, frame, depth: int):
+        array = super()._children_array(frame, depth)
+        if self._metrics.enabled:
+            # one bucket-chain walk per materialized node: the unit of
+            # probe work the memo amortizes away on revisits
+            self._metrics.inc("sonic.node_walks")
+            self._metrics.observe("sonic.node_children", array.size)
+        return array

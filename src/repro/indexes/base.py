@@ -30,6 +30,7 @@ from typing import ClassVar
 import numpy as np
 
 from repro.errors import SchemaError, UnsupportedOperationError
+from repro.obs.metrics import NULL_METRICS
 
 #: shared empty candidate array (int64, the common key dtype)
 EMPTY_VALUES: np.ndarray = np.empty(0, dtype=np.int64)
@@ -356,9 +357,21 @@ class BatchCursor(abc.ABC):
     * :meth:`probe_many` — boolean mask over ``values``: which extend
       ``prefix`` into a (apparently) non-empty subtree.
     * :meth:`count` — advisory subtree size, for seed selection only.
+
+    **Observability.**  Concrete cursors carry a ``_metrics`` reference
+    (the shared :data:`~repro.obs.metrics.NULL_METRICS` by default); a
+    profiled run points it at its live registry via
+    :meth:`attach_metrics`, after which calls record memo hits/misses and
+    array sizes — always behind an ``if self._metrics.enabled`` guard, so
+    the un-profiled path pays one attribute load and branch per call.
     """
 
     __slots__ = ()
+
+    def attach_metrics(self, metrics) -> None:
+        """Route this cursor's counters into ``metrics`` (a profiled
+        run's :class:`~repro.obs.metrics.Metrics` registry)."""
+        self._metrics = metrics
 
     @abc.abstractmethod
     def candidates(self, prefix: tuple) -> np.ndarray:
@@ -392,13 +405,14 @@ class SyncedBatchCursor(BatchCursor):
     are empty, probes all-False, count 0.
     """
 
-    __slots__ = ("_path", "_frames", "_memo", "_counts")
+    __slots__ = ("_path", "_frames", "_memo", "_counts", "_metrics")
 
     def __init__(self, root_frame):
         self._path: list = []
         self._frames: list = [root_frame]
         self._memo: dict = {}
         self._counts: dict = {}
+        self._metrics = NULL_METRICS
 
     # -- subclass hooks ------------------------------------------------
     @abc.abstractmethod
@@ -449,14 +463,27 @@ class SyncedBatchCursor(BatchCursor):
 
     def candidates(self, prefix: tuple) -> np.ndarray:
         array = self._memo.get(prefix)
+        metrics = self._metrics
         if array is None:
             array = self._materialize(prefix)
+            if metrics.enabled:
+                metrics.inc("batch.candidates")
+                metrics.inc("batch.memo_miss")
+                metrics.observe("batch.candidates_size", array.size)
+        elif metrics.enabled:
+            metrics.inc("batch.candidates")
+            metrics.inc("batch.memo_hit")
+            metrics.observe("batch.candidates_size", array.size)
         return array
 
     def probe_many(self, prefix: tuple, values: np.ndarray) -> np.ndarray:
         array = self._memo.get(prefix)
         if array is None:
             array = self._materialize(prefix)
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("batch.probe_many")
+            metrics.observe("batch.probe_many_size", values.size)
         return membership_mask(array, values)
 
     def count(self, prefix: tuple) -> int:
@@ -521,20 +548,35 @@ class FallbackBatchCursor(BatchCursor):
     join).
     """
 
-    __slots__ = ("_index", "_memo")
+    __slots__ = ("_index", "_memo", "_metrics")
 
     def __init__(self, index: TupleIndex):
         self._index = index
         self._memo: dict = {}
+        self._metrics = NULL_METRICS
 
     def candidates(self, prefix: tuple) -> np.ndarray:
         array = self._memo.get(prefix)
+        metrics = self._metrics
         if array is None:
             array = sorted_value_array(self._index.iter_next_values(prefix))
             self._memo[prefix] = array
+            if metrics.enabled:
+                metrics.inc("batch.candidates")
+                metrics.inc("batch.memo_miss")
+                metrics.observe("batch.candidates_size", array.size)
+        elif metrics.enabled:
+            metrics.inc("batch.candidates")
+            metrics.inc("batch.memo_hit")
+            metrics.observe("batch.candidates_size", array.size)
         return array
 
     def probe_many(self, prefix: tuple, values: np.ndarray) -> np.ndarray:
+        metrics = self._metrics
+        if metrics.enabled:
+            # counted once per batch, outside the per-value shim loop
+            metrics.inc("batch.probe_many")
+            metrics.observe("batch.probe_many_size", values.size)
         has_prefix = self._index.has_prefix
         mask = np.empty(values.size, dtype=bool)
         for position, value in enumerate(values.tolist()):

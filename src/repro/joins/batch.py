@@ -49,6 +49,7 @@ from repro.core.adapter import IndexAdapter
 from repro.errors import QueryError
 from repro.indexes.base import membership_mask
 from repro.joins.results import JoinMetrics, JoinResult, Stopwatch, make_sink
+from repro.obs.observer import NULL_OBSERVER
 from repro.planner.qptree import connectivity_order
 from repro.planner.query import JoinQuery
 
@@ -63,7 +64,7 @@ class GenericJoinBatch:
 
     def __init__(self, query: JoinQuery, adapters: dict[str, IndexAdapter],
                  order: Sequence[str] | None = None,
-                 dynamic_seed: bool = True):
+                 dynamic_seed: bool = True, obs=None):
         missing = [a.alias for a in query.atoms if a.alias not in adapters]
         if missing:
             raise QueryError(f"no index adapter for atoms {missing}")
@@ -101,6 +102,7 @@ class GenericJoinBatch:
         self._cursors: list = []
         self._prefixes: list = []
         self.metrics = JoinMetrics(algorithm="generic_join_batch")
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def run(self, materialize: bool = False) -> JoinResult:
@@ -111,7 +113,21 @@ class GenericJoinBatch:
                          for alias in self._aliases]
         self._prefixes = [()] * len(self._aliases)
         binding: list = []
-        self._join_level(0, binding, sink)
+        obs = self.obs
+        if obs.enabled:
+            # batch cursors carry their own counters (memo hits, array
+            # sizes); point them at this run's registry
+            for cursor in self._cursors:
+                cursor.attach_metrics(obs.metrics)
+            stats = obs.init_levels(
+                self.order,
+                [[self._aliases[i] for i in ids] for ids in self._participants],
+            )
+            with obs.tracer.span("probe", algorithm="generic_join_batch",
+                                 engine="batch"):
+                self._join_level_profiled(0, binding, sink, stats)
+        else:
+            self._join_level(0, binding, sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
@@ -176,6 +192,80 @@ class GenericJoinBatch:
             binding.pop()
         for position, participant in enumerate(participants):
             prefixes[participant] = saved[position]
+
+    def _join_level_profiled(self, depth: int, binding: list, sink,
+                             stats: list) -> None:
+        """The instrumented twin of :meth:`_join_level`.
+
+        Same join logic plus per-level accumulation into ``stats[depth]``:
+        ``candidates`` counts the *seed array* sizes (the values put up
+        for intersection), ``survivors`` the values emerging from the
+        vectorized membership tests — identical to the tuple engine's
+        survivor counts by construction.  ``time_ns`` is inclusive and is
+        flushed on every return path.  Keep the twins in sync.
+        """
+        st = stats[depth]
+        t0 = Stopwatch.now_ns()
+        participants = self._participants[depth]
+        cursors = self._cursors
+        prefixes = self._prefixes
+        self.metrics.lookups += len(participants)
+
+        if len(participants) == 1:
+            participant = participants[0]
+            survivors = cursors[participant].candidates(prefixes[participant])
+            st.seed_counts[self._aliases[participant]] += 1
+            st.candidates += int(survivors.size)
+            if survivors.size == 0:
+                st.time_ns += Stopwatch.now_ns() - t0
+                return
+        else:
+            arrays = self._arrays[depth]
+            for position, participant in enumerate(participants):
+                arrays[position] = cursors[participant].candidates(
+                    prefixes[participant])
+            seed_pos = (self._smallest(arrays) if self.dynamic_seed
+                        else self._static_pos[depth])
+            values = arrays[seed_pos]
+            st.seed_counts[self._aliases[participants[seed_pos]]] += 1
+            st.candidates += int(values.size)
+            if values.size == 0:
+                st.time_ns += Stopwatch.now_ns() - t0
+                return
+            mask = None
+            for position, array in enumerate(arrays):
+                if position == seed_pos:
+                    continue
+                probe = membership_mask(array, values)
+                mask = probe if mask is None else mask & probe
+                if not mask.any():
+                    st.time_ns += Stopwatch.now_ns() - t0
+                    return
+            survivors = values[mask]
+            if survivors.size == 0:
+                st.time_ns += Stopwatch.now_ns() - t0
+                return
+        count = int(survivors.size)
+        st.survivors += count
+        self.metrics.intermediate_tuples += count
+
+        if depth + 1 == len(self.order):
+            sink.emit_suffixes(tuple(binding), survivors.tolist())
+            st.time_ns += Stopwatch.now_ns() - t0
+            return
+
+        saved = self._saved[depth]
+        for position, participant in enumerate(participants):
+            saved[position] = prefixes[participant]
+        for value in survivors.tolist():
+            for position, participant in enumerate(participants):
+                prefixes[participant] = saved[position] + (value,)  # repro: noqa[RA501]
+            binding.append(value)
+            self._join_level_profiled(depth + 1, binding, sink, stats)
+            binding.pop()
+        for position, participant in enumerate(participants):
+            prefixes[participant] = saved[position]
+        st.time_ns += Stopwatch.now_ns() - t0
 
     @staticmethod
     def _smallest(arrays: list) -> int:

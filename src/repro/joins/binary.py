@@ -19,6 +19,7 @@ from collections.abc import Sequence
 
 from repro.errors import QueryError
 from repro.joins.results import JoinMetrics, JoinResult, Stopwatch, make_sink
+from repro.obs.observer import NULL_OBSERVER
 from repro.planner.cardinality import Statistics
 from repro.planner.optimizer import greedy_join_order
 from repro.planner.query import JoinQuery
@@ -30,7 +31,7 @@ class BinaryHashJoin:
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
                  order: Sequence[str] | None = None,
-                 stats: Statistics | None = None):
+                 stats: Statistics | None = None, obs=None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -49,6 +50,7 @@ class BinaryHashJoin:
         self._plan: list[dict] = []
         self._built = False
         self._output_attrs: tuple[str, ...] = ()
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     # Build phase: one hash table per non-leading atom
@@ -61,7 +63,10 @@ class BinaryHashJoin:
         bound = list(self.query.attributes_of(self.order[0]))
         bound_set = set(bound)
         self._plan = []
+        obs = self.obs
         for alias in self.order[1:]:
+            if obs.enabled:
+                table_t0 = Stopwatch.now_ns()
             attrs = self.query.attributes_of(alias)
             key_attrs = tuple(a for a in attrs if a in bound_set)
             payload_attrs = tuple(a for a in attrs if a not in bound_set)
@@ -80,6 +85,8 @@ class BinaryHashJoin:
                 "payload_attrs": payload_attrs,
                 "table": table,
             })
+            if obs.enabled:
+                obs.record_build(alias, Stopwatch.now_ns() - table_t0)
             for attribute in payload_attrs:
                 bound.append(attribute)
                 bound_set.add(attribute)
@@ -96,14 +103,66 @@ class BinaryHashJoin:
         leading = self.relations[self.order[0]]
         lead_attrs = self.query.attributes_of(self.order[0])
         binding: dict[str, object] = {}
-        for row in leading:
-            for attribute, value in zip(lead_attrs, row):
-                binding[attribute] = value
-            self._probe(0, binding, sink)
+        obs = self.obs
+        if obs.enabled:
+            # one profile level per pipeline stage: the leading scan,
+            # then each hash probe (label = the stage's atom alias)
+            stats = obs.init_levels(self.order, [[a] for a in self.order])
+            st0 = stats[0]
+            st0.seed_counts[self.order[0]] += 1
+            probe_t0 = Stopwatch.now_ns()
+            with obs.tracer.span("probe", algorithm="binary_join"):
+                for row in leading:
+                    for attribute, value in zip(lead_attrs, row):
+                        binding[attribute] = value
+                    self._probe_profiled(0, binding, sink, stats)
+            scanned = len(leading)
+            st0.candidates += scanned
+            st0.survivors += scanned
+            st0.time_ns += Stopwatch.now_ns() - probe_t0
+        else:
+            for row in leading:
+                for attribute, value in zip(lead_attrs, row):
+                    binding[attribute] = value
+                self._probe(0, binding, sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self._output_attrs, sink=sink,
                           metrics=self.metrics)
+
+    def _probe_profiled(self, stage: int, binding: dict[str, object], sink,
+                        stats: list) -> None:
+        """The instrumented twin of :meth:`_probe` (stage *i* writes into
+        ``stats[i + 1]``; level 0 is the leading scan, accounted by
+        :meth:`run`).  ``candidates`` counts probes arriving at the stage,
+        ``survivors`` the matching payload expansions flowing on.  Keep
+        the twins in sync when touching either."""
+        if stage == len(self._plan):
+            # mirrors _probe's baselined result-tuple construction
+            sink.emit(tuple(binding[a] for a in self._output_attrs))  # repro: noqa[RA502]
+            return
+        st = stats[stage + 1]
+        t0 = Stopwatch.now_ns()
+        step = self._plan[stage]
+        self.metrics.lookups += 1
+        st.candidates += 1
+        st.seed_counts[step["alias"]] += 1
+        # mirrors _probe's baselined per-probe key construction
+        key = tuple(binding[a] for a in step["key_attrs"])  # repro: noqa[RA502]
+        matches = step["table"].get(key)
+        if not matches:
+            st.time_ns += Stopwatch.now_ns() - t0
+            return
+        payload_attrs = step["payload_attrs"]
+        st.survivors += len(matches)
+        for payload in matches:
+            for attribute, value in zip(payload_attrs, payload):
+                binding[attribute] = value
+            self.metrics.intermediate_tuples += 1
+            self._probe_profiled(stage + 1, binding, sink, stats)
+        for attribute in payload_attrs:
+            binding.pop(attribute, None)
+        st.time_ns += Stopwatch.now_ns() - t0
 
     def _probe(self, stage: int, binding: dict[str, object], sink) -> None:
         if stage == len(self._plan):

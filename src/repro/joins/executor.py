@@ -20,8 +20,10 @@ binary vs generic, §6/[22]).
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 from repro.analysis.plancheck import check_plan
 from repro.core.adapter import IndexAdapter
@@ -35,6 +37,8 @@ from repro.joins.hashtrie_join import HashTrieJoin
 from repro.joins.leapfrog import LeapfrogTrieJoin
 from repro.joins.recursive import RecursiveJoin
 from repro.joins.results import JoinResult, Stopwatch
+from repro.obs.observer import JoinObserver, NULL_OBSERVER
+from repro.obs.profile import build_profile
 from repro.planner.cardinality import Statistics
 from repro.planner.optimizer import HybridOptimizer
 from repro.planner.qptree import connectivity_order
@@ -57,6 +61,40 @@ def _debug_enabled(debug: "bool | None") -> bool:
     return os.environ.get("REPRO_DEBUG", "").strip().lower() not in (
         "", "0", "false", "no", "off",
     )
+
+
+def _profile_enabled(profile: "bool | None") -> bool:
+    """Resolve the profile flag: explicit argument wins, else ``REPRO_PROFILE``."""
+    if profile is not None:
+        return profile
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() not in (
+        "", "0", "false", "no", "off",
+    )
+
+
+def _attach_profile(query, result: JoinResult, observer, choice, order,
+                    engine: "str | None" = None,
+                    trace_out: "str | None" = None) -> JoinResult:
+    """Fold the observer into ``result.profile`` (enabled runs only) and
+    write the Chrome trace if ``trace_out``/``REPRO_TRACE_OUT`` asks."""
+    if not observer.enabled:
+        return result
+    profile = build_profile(
+        query=str(query),
+        algorithm=result.metrics.algorithm,
+        index=result.metrics.index or "none",
+        order=order,
+        metrics=result.metrics,
+        observer=observer,
+        engine=engine,
+        choice=choice,
+    )
+    result.profile = profile
+    out = trace_out or os.environ.get("REPRO_TRACE_OUT", "").strip()
+    if out:
+        Path(out).write_text(
+            json.dumps(profile.to_chrome_trace(), indent=2) + "\n")
+    return result
 
 
 def resolve_relations(query: JoinQuery,
@@ -97,11 +135,19 @@ def build_adapters(query: JoinQuery, relations: Mapping[str, Relation],
                    sonic_overallocation: float = 2.0,
                    sonic_bucket_size: int = 8,
                    index_options: Mapping[str, object] | None = None,
-                   ) -> dict[str, IndexAdapter]:
-    """One freshly-built index adapter per atom (the WCOJ build phase)."""
+                   obs=None) -> dict[str, IndexAdapter]:
+    """One freshly-built index adapter per atom (the WCOJ build phase).
+
+    With an enabled observer, each adapter's build is timed individually
+    (``profile.build_breakdown``) and recorded as a ``build_index`` span.
+    """
     adapters: dict[str, IndexAdapter] = {}
     options = dict(index_options or {})
+    observer = obs if obs is not None else NULL_OBSERVER
+    obs_enabled = observer.enabled
     for atom in query.atoms:
+        if obs_enabled:
+            adapter_t0 = Stopwatch.now_ns()
         relation = relations[atom.alias]
         if index == "sonic":
             config = SonicConfig.for_tuples(
@@ -115,6 +161,12 @@ def build_adapters(query: JoinQuery, relations: Mapping[str, Relation],
         adapter = IndexAdapter(relation, idx, order)
         adapter.build()
         adapters[atom.alias] = adapter
+        if obs_enabled:
+            duration = Stopwatch.now_ns() - adapter_t0
+            observer.record_build(atom.alias, duration)
+            observer.tracer.add_span("build_index", adapter_t0, duration,
+                                     alias=atom.alias, index=index,
+                                     tuples=len(relation))
     return adapters
 
 
@@ -128,6 +180,9 @@ def join(query: "JoinQuery | str",
          binary_order: Sequence[str] | None = None,
          engine: str = "tuple",
          debug: "bool | None" = None,
+         profile: "bool | None" = None,
+         obs: "JoinObserver | None" = None,
+         trace_out: "str | None" = None,
          **index_kwargs) -> JoinResult:
     """Plan, build and execute a join query; returns a :class:`JoinResult`.
 
@@ -156,6 +211,17 @@ def join(query: "JoinQuery | str",
     resolved plan before execution, raising
     :class:`~repro.errors.PlanValidationError` instead of silently
     executing a malformed plan.
+
+    ``profile`` (default: the ``REPRO_PROFILE`` environment variable)
+    runs the join under a live :class:`~repro.obs.observer.JoinObserver`
+    and attaches the EXPLAIN ANALYZE report to ``result.profile`` (a
+    :class:`~repro.obs.profile.JoinProfile`: per-level candidates /
+    survivors / seed choices / time, the hybrid optimizer's estimated vs
+    actual cardinalities, counters, spans).  ``obs`` threads a caller-
+    supplied observer instead (e.g. a shared metrics registry, or
+    ``JoinObserver.disabled()`` to pin the un-instrumented path);
+    ``trace_out`` (default: ``REPRO_TRACE_OUT``) additionally writes the
+    span trace as Chrome ``trace_event`` JSON to that path.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -168,47 +234,73 @@ def join(query: "JoinQuery | str",
             f"unknown engine {engine!r}; choose from {ENGINES}"
         )
     debug = _debug_enabled(debug)
+    if obs is not None:
+        observer = obs
+    elif _profile_enabled(profile):
+        observer = JoinObserver()
+    else:
+        observer = NULL_OBSERVER
     relations = resolve_relations(query, source)
     if debug:
         check_plan(query, relations=relations)
 
+    # the optimizer's estimate is part of every profile (estimated vs
+    # actual), so an enabled observer computes it even off the auto path
+    choice = None
+    if algorithm == "auto" or observer.enabled:
+        with observer.tracer.span("optimize"):
+            stats = Statistics.collect(relations.values())
+            choice = HybridOptimizer().choose(query, stats)
     if algorithm == "auto":
-        stats = Statistics.collect(relations.values())
-        choice = HybridOptimizer().choose(query, stats)
         algorithm = "binary" if choice.algorithm == "binary" else "generic"
 
     if algorithm == "binary":
-        driver = BinaryHashJoin(query, relations, order=binary_order)
+        driver = BinaryHashJoin(query, relations, order=binary_order,
+                                obs=observer)
         result = driver.run(materialize=materialize)
-        return result
+        return _attach_profile(query, result, observer, choice,
+                               tuple(driver.order), trace_out=trace_out)
 
     total = tuple(order) if order else connectivity_order(query)
     if debug:
         check_plan(query, order=total)
 
     if algorithm == "hashtrie":
-        driver = HashTrieJoin(query, relations, order=total, **index_kwargs)
-        return driver.run(materialize=materialize)
+        driver = HashTrieJoin(query, relations, order=total, obs=observer,
+                              **index_kwargs)
+        result = driver.run(materialize=materialize)
+        return _attach_profile(query, result, observer, choice, total,
+                               trace_out=trace_out)
     if algorithm == "leapfrog":
-        driver = LeapfrogTrieJoin(query, relations, order=total)
-        return driver.run(materialize=materialize)
+        driver = LeapfrogTrieJoin(query, relations, order=total, obs=observer)
+        result = driver.run(materialize=materialize)
+        return _attach_profile(query, result, observer, choice, total,
+                               trace_out=trace_out)
     if algorithm == "recursive":
+        # the recursive driver has no per-level instrumentation; a
+        # profiled run still gets timings + optimizer estimates
         driver = RecursiveJoin(query, relations, order=total)
-        return driver.run(materialize=materialize)
+        result = driver.run(materialize=materialize)
+        return _attach_profile(query, result, observer, choice, total,
+                               trace_out=trace_out)
 
     watch = Stopwatch()
     adapters = build_adapters(query, relations, total, index=index,
-                              **index_kwargs)
+                              obs=observer, **index_kwargs)
     build_seconds = watch.lap()
     use_batch = engine == "batch" or (
         engine == "auto"
         and all(a.supports_batch for a in adapters.values())
     )
     driver_cls = GenericJoinBatch if use_batch else GenericJoin
-    driver = driver_cls(query, adapters, order=total, dynamic_seed=dynamic_seed)
+    driver = driver_cls(query, adapters, order=total, dynamic_seed=dynamic_seed,
+                        obs=observer)
     driver.metrics.index = index
     driver.metrics.build_seconds = build_seconds
-    return driver.run(materialize=materialize)
+    result = driver.run(materialize=materialize)
+    return _attach_profile(query, result, observer, choice, total,
+                           engine="batch" if use_batch else "tuple",
+                           trace_out=trace_out)
 
 
 def triangle_count(edges: Relation, algorithm: str = "generic",

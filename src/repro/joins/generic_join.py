@@ -46,16 +46,26 @@ from collections.abc import Sequence
 from repro.core.adapter import IndexAdapter
 from repro.errors import QueryError
 from repro.joins.results import JoinMetrics, JoinResult, Stopwatch, make_sink
+from repro.obs.observer import NULL_OBSERVER
 from repro.planner.qptree import connectivity_order
 from repro.planner.query import JoinQuery
 
 
 class GenericJoin:
-    """Generic Join over pre-built index adapters."""
+    """Generic Join over pre-built index adapters.
+
+    **Observability.**  ``obs`` is a
+    :class:`~repro.obs.observer.JoinObserver` (default: the shared
+    disabled one).  The driver branches on ``obs.enabled`` exactly once
+    per run: the un-profiled recursion (:meth:`_join_level`) carries no
+    instrumentation at all, while the enabled path runs its instrumented
+    twin (:meth:`_join_level_profiled`) that accumulates per-level
+    candidates/survivors/cursor movements into ``obs.levels``.
+    """
 
     def __init__(self, query: JoinQuery, adapters: dict[str, IndexAdapter],
                  order: Sequence[str] | None = None,
-                 dynamic_seed: bool = True):
+                 dynamic_seed: bool = True, obs=None):
         missing = [a.alias for a in query.atoms if a.alias not in adapters]
         if missing:
             raise QueryError(f"no index adapter for atoms {missing}")
@@ -86,6 +96,7 @@ class GenericJoin:
                                      self._static_seed)
         ]
         self.metrics = JoinMetrics(algorithm="generic_join")
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def run(self, materialize: bool = False) -> JoinResult:
@@ -102,7 +113,14 @@ class GenericJoin:
             for aliases in self._atoms_per_attribute
         ]
         binding: list = []
-        self._join_level(0, levels, binding, sink)
+        obs = self.obs
+        if obs.enabled:
+            stats = obs.init_levels(self.order, self._atoms_per_attribute)
+            with obs.tracer.span("probe", algorithm="generic_join",
+                                 engine="tuple"):
+                self._join_level_profiled(0, levels, binding, sink, stats)
+        else:
+            self._join_level(0, levels, binding, sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
@@ -152,6 +170,70 @@ class GenericJoin:
                     continue
                 cursor.ascend()
                 descended -= 1
+
+    def _join_level_profiled(self, depth: int, levels: list, binding: list,
+                             sink, stats: list) -> None:
+        """The instrumented twin of :meth:`_join_level`.
+
+        Byte-for-byte the same join logic plus per-level accumulation
+        into ``stats[depth]`` (local ints, flushed once per invocation —
+        never a method call per candidate).  ``time_ns`` is *inclusive*;
+        the profile derives exclusive time by subtracting the next
+        level's total.  Keep the twins in sync when touching either.
+        """
+        if depth == len(self.order):
+            sink.emit(tuple(binding))
+            return
+        st = stats[depth]
+        t0 = Stopwatch.now_ns()
+        participants = levels[depth]
+        seed_pos = self._choose_seed_pos(depth, participants)
+        seed_cursor = participants[seed_pos]
+        st.seed_counts[self._atoms_per_attribute[depth][seed_pos]] += 1
+        candidates = survivors = descends = ascends = 0
+
+        self.metrics.lookups += 1
+        for value in seed_cursor.child_values():
+            candidates += 1
+            self.metrics.lookups += 1
+            if not seed_cursor.try_descend(value):
+                continue
+            descends += 1
+            descended = 1
+            ok = True
+            for cursor in participants:
+                if cursor is seed_cursor:
+                    continue
+                self.metrics.lookups += 1
+                if cursor.try_descend(value):
+                    descends += 1
+                    descended += 1
+                else:
+                    ok = False
+                    break
+            if ok:
+                survivors += 1
+                self.metrics.intermediate_tuples += 1
+                binding.append(value)
+                self._join_level_profiled(depth + 1, levels, binding, sink,
+                                          stats)
+                binding.pop()
+            seed_cursor.ascend()
+            ascends += 1
+            descended -= 1
+            for cursor in participants:
+                if descended == 0:
+                    break
+                if cursor is seed_cursor:
+                    continue
+                cursor.ascend()
+                ascends += 1
+                descended -= 1
+        st.candidates += candidates
+        st.survivors += survivors
+        st.descends += descends
+        st.ascends += ascends
+        st.time_ns += Stopwatch.now_ns() - t0
 
     def _choose_seed_pos(self, depth: int, participants: list) -> int:
         """Pick the enumeration seed among the atoms binding this attribute.

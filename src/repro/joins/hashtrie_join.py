@@ -31,6 +31,7 @@ from repro.core.adapter import IndexAdapter
 from repro.errors import QueryError
 from repro.indexes.hashtrie import HashTrie
 from repro.joins.results import JoinMetrics, JoinResult, Stopwatch, make_sink
+from repro.obs.observer import NULL_OBSERVER
 from repro.planner.qptree import connectivity_order
 from repro.planner.query import JoinQuery
 from repro.storage.relation import Relation
@@ -41,7 +42,8 @@ class HashTrieJoin:
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
                  order: Sequence[str] | None = None,
-                 lazy: bool = True, singleton_pruning: bool = True):
+                 lazy: bool = True, singleton_pruning: bool = True,
+                 obs=None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -61,6 +63,7 @@ class HashTrieJoin:
             [atom.alias for atom in query.atoms_with(attribute)]
             for attribute in self.order
         ]
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def build(self) -> None:
@@ -69,13 +72,18 @@ class HashTrieJoin:
             return
         self._built = True
         watch = Stopwatch()
+        obs = self.obs
         for atom in self.query.atoms:
+            if obs.enabled:
+                adapter_t0 = Stopwatch.now_ns()
             relation = self.relations[atom.alias]
             index = HashTrie(relation.arity, lazy=self.lazy,
                              singleton_pruning=self.singleton_pruning)
             adapter = IndexAdapter(relation, index, self.order)
             adapter.build()
             self.adapters[atom.alias] = adapter
+            if obs.enabled:
+                obs.record_build(atom.alias, Stopwatch.now_ns() - adapter_t0)
         self.metrics.build_seconds += watch.lap()
 
     # ------------------------------------------------------------------
@@ -85,7 +93,13 @@ class HashTrieJoin:
         watch = Stopwatch()
         cursors = {alias: adapter.index.cursor()
                    for alias, adapter in self.adapters.items()}
-        self._join_level(0, cursors, [], sink)
+        obs = self.obs
+        if obs.enabled:
+            stats = obs.init_levels(self.order, self._atoms_per_attribute)
+            with obs.tracer.span("probe", algorithm="hashtrie_join"):
+                self._join_level_profiled(0, cursors, [], sink, stats)
+        else:
+            self._join_level(0, cursors, [], sink)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
@@ -124,6 +138,60 @@ class HashTrieJoin:
                 binding.pop()
             for cursor in survived:
                 cursor.ascend()
+
+    def _join_level_profiled(self, depth: int, cursors: dict, binding: list,
+                             sink, stats: list) -> None:
+        """The instrumented twin of :meth:`_join_level` (same pattern as
+        the Generic Join's: local counters flushed once per invocation,
+        inclusive ``time_ns``).  Keep the twins in sync."""
+        if depth == len(self.order):
+            sink.emit(tuple(binding))
+            return
+        st = stats[depth]
+        t0 = Stopwatch.now_ns()
+        aliases = self._atoms_per_attribute[depth]
+        seed = min(aliases,
+                   key=lambda alias: (cursors[alias].count(),
+                                      alias != self.anchor))
+        seed_cursor = cursors[seed]
+        # mirrors _join_level's baselined per-binding participant list
+        others = [cursors[alias] for alias in aliases if alias != seed]  # repro: noqa[RA501]
+        st.seed_counts[seed] += 1
+        candidates = survivors = descends = ascends = 0
+
+        self.metrics.lookups += 1
+        for value in seed_cursor.child_values():
+            candidates += 1
+            self.metrics.lookups += 1
+            if not seed_cursor.try_descend(value):
+                continue
+            descends += 1
+            # mirrors _join_level's baselined ascend-bookkeeping list
+            survived = [seed_cursor]  # repro: noqa[RA501]
+            ok = True
+            for cursor in others:
+                self.metrics.lookups += 1
+                if cursor.try_descend(value):
+                    descends += 1
+                    survived.append(cursor)
+                else:
+                    ok = False
+                    break
+            if ok:
+                survivors += 1
+                self.metrics.intermediate_tuples += 1
+                binding.append(value)
+                self._join_level_profiled(depth + 1, cursors, binding, sink,
+                                          stats)
+                binding.pop()
+            for cursor in survived:
+                cursor.ascend()
+                ascends += 1
+        st.candidates += candidates
+        st.survivors += survivors
+        st.descends += descends
+        st.ascends += ascends
+        st.time_ns += Stopwatch.now_ns() - t0
 
     # ------------------------------------------------------------------
     def expansion_stats(self) -> dict[str, int]:

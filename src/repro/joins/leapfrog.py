@@ -24,6 +24,7 @@ from repro.core.adapter import IndexAdapter
 from repro.errors import QueryError
 from repro.indexes.sorted_trie import SortedTrie, TrieIterator
 from repro.joins.results import JoinMetrics, JoinResult, Stopwatch, make_sink
+from repro.obs.observer import NULL_OBSERVER
 from repro.planner.qptree import connectivity_order
 from repro.planner.query import JoinQuery
 from repro.storage.relation import Relation
@@ -33,7 +34,7 @@ class LeapfrogTrieJoin:
     """LFTJ over sorted-array tries."""
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
-                 order: Sequence[str] | None = None):
+                 order: Sequence[str] | None = None, obs=None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -49,19 +50,25 @@ class LeapfrogTrieJoin:
             [atom.alias for atom in query.atoms_with(attribute)]
             for attribute in self.order
         ]
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     def build(self) -> None:
         if self._built:
             return
         self._built = True
         watch = Stopwatch()
+        obs = self.obs
         for atom in self.query.atoms:
+            if obs.enabled:
+                adapter_t0 = Stopwatch.now_ns()
             relation = self.relations[atom.alias]
             trie = SortedTrie(relation.arity)
             adapter = IndexAdapter(relation, trie, self.order)
             adapter.build()
             trie.rows  # force the sort inside the build phase
             self._tries[atom.alias] = trie
+            if obs.enabled:
+                obs.record_build(atom.alias, Stopwatch.now_ns() - adapter_t0)
         self.metrics.build_seconds += watch.lap()
 
     def run(self, materialize: bool = False) -> JoinResult:
@@ -75,8 +82,16 @@ class LeapfrogTrieJoin:
         levels: list[list[TrieIterator]] = [
             [iterators[a] for a in aliases] for aliases in self._participants
         ]
+        obs = self.obs
         if all(len(trie) for trie in self._tries.values()):
-            self._join_level(0, levels, [], sink)
+            if obs.enabled:
+                stats = obs.init_levels(self.order, self._participants)
+                with obs.tracer.span("probe", algorithm="leapfrog"):
+                    self._join_level_profiled(0, levels, [], sink, stats)
+            else:
+                self._join_level(0, levels, [], sink)
+        elif obs.enabled:
+            obs.init_levels(self.order, self._participants)
         self.metrics.probe_seconds += watch.lap()
         self.metrics.result_count = sink.count
         return JoinResult(attributes=self.order, sink=sink, metrics=self.metrics)
@@ -99,6 +114,63 @@ class LeapfrogTrieJoin:
         finally:
             for cursor in participants:
                 cursor.up()
+
+    def _join_level_profiled(self, depth: int,
+                             levels: list[list[TrieIterator]],
+                             binding: list, sink, stats: list) -> None:
+        """The instrumented twin of :meth:`_join_level`.  ``descends`` /
+        ``ascends`` count iterator ``open()``/``up()`` calls; survivors
+        are the intersection values the leapfrog yields.  Keep the twins
+        in sync."""
+        if depth == len(self.order):
+            sink.emit(tuple(binding))
+            return
+        st = stats[depth]
+        t0 = Stopwatch.now_ns()
+        participants = levels[depth]
+        for cursor in participants:
+            cursor.open()
+        st.descends += len(participants)
+        try:
+            for value in self._leapfrog_profiled(participants, st):
+                st.survivors += 1
+                binding.append(value)
+                self.metrics.intermediate_tuples += 1
+                self._join_level_profiled(depth + 1, levels, binding, sink,
+                                          stats)
+                binding.pop()
+        finally:
+            for cursor in participants:
+                cursor.up()
+            st.ascends += len(participants)
+            st.time_ns += Stopwatch.now_ns() - t0
+
+    def _leapfrog_profiled(self, cursors: list[TrieIterator], st):
+        """The instrumented twin of :meth:`_leapfrog`: ``st.candidates``
+        counts keys examined (one per leapfrog step, matching or not)."""
+        if any(c.at_end() for c in cursors):
+            return
+        cursors.sort(key=lambda c: c.key())
+        index = 0
+        max_key = cursors[-1].key()
+        while True:
+            cursor = cursors[index]
+            key = cursor.key()
+            st.candidates += 1
+            if key == max_key:
+                yield key
+                self.metrics.lookups += 1
+                cursor.next()
+                if cursor.at_end():
+                    return
+                max_key = cursor.key()
+            else:
+                self.metrics.lookups += 1
+                cursor.seek(max_key)
+                if cursor.at_end():
+                    return
+                max_key = max(max_key, cursor.key())
+            index = (index + 1) % len(cursors)
 
     def _leapfrog(self, cursors: list[TrieIterator]):
         """Yield the intersection of the cursors' key streams (Veldhuizen §3)."""

@@ -103,6 +103,8 @@ class JoinResult:
     attributes: tuple[str, ...]           # result schema, in total order
     sink: ResultSink
     metrics: JoinMetrics = field(default_factory=JoinMetrics)
+    #: EXPLAIN ANALYZE report, set by ``join(..., profile=True)``
+    profile: "JoinProfile | None" = None  # noqa: F821 - repro.obs.profile
 
     @property
     def count(self) -> int:
@@ -119,16 +121,26 @@ class JoinResult:
 
 
 class Stopwatch:
-    """Tiny phase timer used by the join drivers."""
+    """Tiny phase timer used by the join drivers.
+
+    Internally integer nanoseconds (``time.perf_counter_ns`` — no float
+    accumulation error across laps); float seconds only at the API
+    boundary.  :meth:`now_ns` is the single monotonic clock source shared
+    with :class:`repro.obs.trace.Tracer`, so span timestamps and phase
+    timings are directly comparable.
+    """
+
+    #: the shared monotonic clock (integer nanoseconds)
+    now_ns = staticmethod(time.perf_counter_ns)
 
     def __init__(self):
-        self._start = time.perf_counter()
+        self._start = time.perf_counter_ns()
 
     def lap(self) -> float:
-        now = time.perf_counter()
+        now = time.perf_counter_ns()
         elapsed = now - self._start
         self._start = now
-        return elapsed
+        return elapsed * 1e-9
 
 
 def make_sink(materialize: bool) -> ResultSink:

@@ -1,0 +1,118 @@
+"""Cheap named counters and histograms for the execution stack.
+
+The paper argues entirely from *where time goes inside the join* — probe
+counts (§5.15's Umbra accounting), per-level intersection work, build vs
+probe split — so the engines need counters that are effectively free when
+off and still cheap when on.  Two rules keep them honest:
+
+* **Null-object discipline.**  Every consumer holds either a real
+  :class:`Metrics` or the shared :data:`NULL_METRICS`; both expose the
+  same surface, so no call site ever tests for ``None``.  Hot loops go
+  one step further and check ``metrics.enabled`` (a plain class
+  attribute) before doing *any* per-iteration work — lint rule RA601
+  enforces that routing in ``joins/`` and ``indexes/``.
+* **Counters are dumb.**  A counter is one dict slot holding an int; a
+  histogram is four slots (count/total/min/max).  No locks, no time
+  series, no sampling — per-run instruments that get read once, when the
+  profile is assembled.
+
+Counter names are dotted strings (``"batch.memo_hit"``); the catalog
+lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+
+class Metrics:
+    """A registry of named counters and min/max/total histograms."""
+
+    #: hot loops branch on this before touching the registry
+    enabled = True
+
+    __slots__ = ("counters", "_histograms")
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        #: name -> [count, total, min, max]
+        self._histograms: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        slot = self._histograms.get(name)
+        if slot is None:
+            self._histograms[name] = [1, value, value, value]
+            return
+        slot[0] += 1
+        slot[1] += value
+        if value < slot[2]:
+            slot[2] = value
+        if value > slot[3]:
+            slot[3] = value
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def histograms(self) -> dict[str, dict[str, float]]:
+        """Histogram summaries: ``{name: {count, total, min, max, mean}}``."""
+        out: dict[str, dict[str, float]] = {}
+        for name, (count, total, low, high) in sorted(self._histograms.items()):
+            out[name] = {
+                "count": count,
+                "total": total,
+                "min": low,
+                "max": high,
+                "mean": total / count if count else 0.0,
+            }
+        return out
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot: counters plus histogram summaries."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": self.histograms(),
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's counts into this one."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, (count, total, low, high) in other._histograms.items():
+            slot = self._histograms.get(name)
+            if slot is None:
+                self._histograms[name] = [count, total, low, high]
+            else:
+                slot[0] += count
+                slot[1] += total
+                slot[2] = min(slot[2], low)
+                slot[3] = max(slot[3], high)
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: same surface, every method a no-op.
+
+    Shared as :data:`NULL_METRICS` so holding "no metrics" costs one
+    reference and zero allocations; ``enabled`` is False so hot loops
+    skip even the no-op calls.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: the shared disabled registry (never holds data)
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,378 @@
+"""The EXPLAIN ANALYZE layer: per-level join profiles.
+
+``join(..., profile=True)`` returns a :class:`~repro.joins.results.JoinResult`
+whose ``profile`` is a :class:`JoinProfile`: the per-attribute-level tree
+(seed relation chosen, candidates considered, survivors, time), the
+hybrid optimizer's **estimated vs actual** cardinalities, the counter
+registry and the span trace — renderable as an EXPLAIN ANALYZE-style
+text tree (:meth:`JoinProfile.render`), as JSON
+(:meth:`JoinProfile.to_json`), and as a Chrome ``trace_event`` document
+(:meth:`JoinProfile.to_chrome_trace`).
+
+The JSON layout is versioned (``schema_version``) and checked by
+:func:`validate_profile` — the CI smoke job runs a profiled JOB-light
+join and validates the artifact through exactly that function, so the
+schema cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+#: bump when the JSON layout changes shape (validate_profile must follow)
+SCHEMA_VERSION = 1
+
+
+class ProfileSchemaError(ValueError):
+    """A profile payload does not match the documented schema."""
+
+
+@dataclass
+class LevelProfile:
+    """One attribute level (or binary-pipeline stage) of the profile tree."""
+
+    label: str                      # attribute name; stage alias for binary
+    participants: tuple[str, ...]   # atoms intersected at this level
+    candidates: int                 # values the seeds put up, total
+    survivors: int                  # values accepted by every participant
+    seconds: float                  # exclusive time at this level
+    cumulative_seconds: float       # inclusive (this level + below)
+    seed_counts: dict[str, int]     # alias -> times chosen as seed
+    descends: int = 0
+    ascends: int = 0
+
+    @property
+    def seed(self) -> str:
+        """The most-chosen seed atom (ties broken by alias)."""
+        if not self.seed_counts:
+            return ""
+        return max(sorted(self.seed_counts), key=self.seed_counts.get)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "participants": list(self.participants),
+            "candidates": self.candidates,
+            "survivors": self.survivors,
+            "seconds": round(self.seconds, 9),
+            "cumulative_seconds": round(self.cumulative_seconds, 9),
+            "seed_counts": dict(self.seed_counts),
+            "descends": self.descends,
+            "ascends": self.ascends,
+        }
+
+
+@dataclass
+class JoinProfile:
+    """Everything one profiled join run learned about itself."""
+
+    query: str
+    algorithm: str
+    index: str
+    order: tuple[str, ...]
+    result_count: int
+    build_seconds: float
+    probe_seconds: float
+    engine: "str | None" = None      # generic-join drivers only
+    levels: list[LevelProfile] = field(default_factory=list)
+    optimizer: "dict | None" = None
+    counters: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    build_breakdown: dict = field(default_factory=dict)  # alias -> seconds
+    spans: list[dict] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.probe_seconds
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "query": self.query,
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "index": self.index,
+            "order": list(self.order),
+            "result_count": self.result_count,
+            "timings": {
+                "build_s": round(self.build_seconds, 9),
+                "probe_s": round(self.probe_seconds, 9),
+                "total_s": round(self.total_seconds, 9),
+                "build_breakdown": {alias: round(seconds, 9)
+                                    for alias, seconds
+                                    in sorted(self.build_breakdown.items())},
+            },
+            "optimizer": self.optimizer,
+            "levels": [level.as_dict() for level in self.levels],
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": self.histograms,
+            "spans": self.spans,
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_chrome_trace(self) -> dict:
+        """The span trace as a Chrome ``trace_event`` document."""
+        events = [
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["ts_us"],
+                "dur": span["dur_us"],
+                "pid": 1,
+                "tid": 1,
+                "cat": "repro",
+                "args": span.get("args", {}),
+            }
+            for span in self.spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    # ------------------------------------------------------------------
+    # The EXPLAIN ANALYZE text tree
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [f"EXPLAIN ANALYZE  {self.query}"]
+        engine = f" engine={self.engine}" if self.engine else ""
+        lines.append(
+            f"algorithm={self.algorithm}{engine} index={self.index}  "
+            f"order=({', '.join(self.order)})  results={self.result_count}"
+        )
+        lines.append(
+            f"build {self.build_seconds * 1e3:.3f} ms"
+            f"  probe {self.probe_seconds * 1e3:.3f} ms"
+            f"  total {self.total_seconds * 1e3:.3f} ms"
+        )
+        if self.build_breakdown:
+            parts = "  ".join(f"{alias}={seconds * 1e3:.3f}ms" for alias,
+                              seconds in sorted(self.build_breakdown.items()))
+            lines.append(f"  build breakdown: {parts}")
+        if self.optimizer:
+            opt = self.optimizer
+            lines.append(f"optimizer: chose {opt['algorithm']} — {opt['reason']}")
+            est, act = opt["estimated"], opt["actual"]
+            lines.append(
+                f"  estimated: AGM bound {est['agm_bound']:.4g}, "
+                f"binary peak intermediates {est['binary_peak_intermediates']:.4g}"
+            )
+            lines.append(
+                f"  actual:    {act['results']} results, "
+                f"peak level cardinality {act['peak_level_cardinality']}, "
+                f"{act['intermediate_tuples']} intermediate tuples"
+            )
+        probe = self.probe_seconds or 1.0
+        for depth, level in enumerate(self.levels):
+            pad = "   " * depth
+            seed = level.seed
+            chosen = level.seed_counts.get(seed, 0)
+            total_choices = sum(level.seed_counts.values()) or 1
+            seed_note = f"seed={seed}"
+            if len(level.participants) > 1:
+                seed_note += f" ({100 * chosen // total_choices}%)"
+            pct = min(100.0 * level.seconds / probe, 100.0)
+            lines.append(
+                f"{pad}└─ {level.label}: {seed_note}"
+                f"  candidates={level.candidates} survivors={level.survivors}"
+                f"  {level.seconds * 1e3:.3f} ms ({pct:.0f}% of probe)"
+            )
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name} = {value}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name}: n={h['count']} mean={h['mean']:.2f} "
+                f"min={h['min']:.0f} max={h['max']:.0f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Assembly (called by the executor once the run finishes)
+# ----------------------------------------------------------------------
+def build_profile(*, query: str, algorithm: str, index: str,
+                  order, metrics, observer,
+                  engine: "str | None" = None,
+                  choice=None) -> JoinProfile:
+    """Fold an observer + driver metrics into a :class:`JoinProfile`.
+
+    ``metrics`` is the driver's :class:`~repro.joins.results.JoinMetrics`
+    (timings + result count); ``choice`` the optimizer's
+    :class:`~repro.planner.optimizer.PlanChoice`, when one was computed.
+    """
+    stats = list(observer.levels)
+    levels: list[LevelProfile] = []
+    for depth, st in enumerate(stats):
+        inclusive = st.time_ns
+        below = stats[depth + 1].time_ns if depth + 1 < len(stats) else 0
+        levels.append(LevelProfile(
+            label=st.label,
+            participants=st.participants,
+            candidates=st.candidates,
+            survivors=st.survivors,
+            seconds=max(inclusive - below, 0) * 1e-9,
+            cumulative_seconds=inclusive * 1e-9,
+            seed_counts=dict(st.seed_counts),
+            descends=st.descends,
+            ascends=st.ascends,
+        ))
+
+    registry = observer.metrics
+    for st in stats:
+        registry.inc("level.candidates", st.candidates)
+        registry.inc("level.survivors", st.survivors)
+        registry.inc("cursor.descend", st.descends)
+        registry.inc("cursor.ascend", st.ascends)
+    registry.inc("join.emitted", metrics.result_count)
+    registry.inc("probe.lookups", metrics.lookups)
+
+    optimizer = None
+    if choice is not None:
+        peak = max((level.survivors for level in levels), default=0)
+        optimizer = {
+            "algorithm": choice.algorithm,
+            "reason": choice.reason,
+            "estimated": {
+                "agm_bound": choice.agm_bound,
+                "binary_peak_intermediates": choice.binary_estimate,
+            },
+            "actual": {
+                "results": metrics.result_count,
+                "peak_level_cardinality": peak,
+                "intermediate_tuples": metrics.intermediate_tuples,
+            },
+        }
+
+    snapshot = registry.as_dict()
+    return JoinProfile(
+        query=query,
+        algorithm=algorithm,
+        engine=engine,
+        index=index,
+        order=tuple(order),
+        result_count=metrics.result_count,
+        build_seconds=metrics.build_seconds,
+        probe_seconds=metrics.probe_seconds,
+        levels=levels,
+        optimizer=optimizer,
+        counters=snapshot["counters"],
+        histograms=snapshot["histograms"],
+        build_breakdown={alias: ns * 1e-9
+                         for alias, ns in observer.build_ns.items()},
+        spans=observer.tracer.as_dicts(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the CI artifact gate)
+# ----------------------------------------------------------------------
+def _expect(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise ProfileSchemaError(f"{where}: {message}")
+
+
+def _expect_number(value, where: str, minimum: "float | None" = None) -> None:
+    _expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+            where, f"expected a number, got {type(value).__name__}")
+    if minimum is not None:
+        _expect(value >= minimum, where, f"expected >= {minimum}, got {value}")
+
+
+def validate_profile(payload: dict) -> dict:
+    """Check a :meth:`JoinProfile.as_dict` payload against the schema.
+
+    Raises :class:`ProfileSchemaError` on the first mismatch; returns the
+    payload unchanged so the call composes (``validate_profile(json.load(f))``).
+    """
+    _expect(isinstance(payload, dict), "$", "profile must be an object")
+    _expect(payload.get("schema_version") == SCHEMA_VERSION, "schema_version",
+            f"expected {SCHEMA_VERSION}, got {payload.get('schema_version')!r}")
+    for key in ("query", "algorithm", "index"):
+        _expect(isinstance(payload.get(key), str) and payload[key],
+                key, "expected a non-empty string")
+    engine = payload.get("engine")
+    _expect(engine is None or isinstance(engine, str), "engine",
+            "expected a string or null")
+    order = payload.get("order")
+    _expect(isinstance(order, list) and all(isinstance(a, str) for a in order),
+            "order", "expected a list of attribute names")
+    _expect(isinstance(payload.get("result_count"), int)
+            and payload["result_count"] >= 0,
+            "result_count", "expected a non-negative int")
+
+    timings = payload.get("timings")
+    _expect(isinstance(timings, dict), "timings", "expected an object")
+    for key in ("build_s", "probe_s", "total_s"):
+        _expect_number(timings.get(key), f"timings.{key}", minimum=0.0)
+    breakdown = timings.get("build_breakdown", {})
+    _expect(isinstance(breakdown, dict), "timings.build_breakdown",
+            "expected an object")
+    for alias, seconds in breakdown.items():
+        _expect_number(seconds, f"timings.build_breakdown.{alias}", minimum=0.0)
+
+    levels = payload.get("levels")
+    _expect(isinstance(levels, list), "levels", "expected a list")
+    for position, level in enumerate(levels):
+        where = f"levels[{position}]"
+        _expect(isinstance(level, dict), where, "expected an object")
+        _expect(isinstance(level.get("label"), str) and level["label"],
+                f"{where}.label", "expected a non-empty string")
+        parts = level.get("participants")
+        _expect(isinstance(parts, list) and parts
+                and all(isinstance(p, str) for p in parts),
+                f"{where}.participants", "expected a non-empty list of aliases")
+        for key in ("candidates", "survivors", "descends", "ascends"):
+            _expect(isinstance(level.get(key), int) and level[key] >= 0,
+                    f"{where}.{key}", "expected a non-negative int")
+        for key in ("seconds", "cumulative_seconds"):
+            _expect_number(level.get(key), f"{where}.{key}", minimum=0.0)
+        seeds = level.get("seed_counts")
+        _expect(isinstance(seeds, dict), f"{where}.seed_counts",
+                "expected an object")
+        for alias, count in seeds.items():
+            _expect(alias in parts, f"{where}.seed_counts.{alias}",
+                    "seed alias not among the level's participants")
+            _expect(isinstance(count, int) and count >= 0,
+                    f"{where}.seed_counts.{alias}",
+                    "expected a non-negative int")
+
+    optimizer = payload.get("optimizer")
+    if optimizer is not None:
+        _expect(isinstance(optimizer, dict), "optimizer", "expected an object")
+        _expect(isinstance(optimizer.get("algorithm"), str),
+                "optimizer.algorithm", "expected a string")
+        _expect(isinstance(optimizer.get("reason"), str),
+                "optimizer.reason", "expected a string")
+        estimated = optimizer.get("estimated")
+        _expect(isinstance(estimated, dict), "optimizer.estimated",
+                "expected an object")
+        for key in ("agm_bound", "binary_peak_intermediates"):
+            _expect_number(estimated.get(key), f"optimizer.estimated.{key}")
+        actual = optimizer.get("actual")
+        _expect(isinstance(actual, dict), "optimizer.actual",
+                "expected an object")
+        for key in ("results", "peak_level_cardinality", "intermediate_tuples"):
+            _expect(isinstance(actual.get(key), int) and actual[key] >= 0,
+                    f"optimizer.actual.{key}", "expected a non-negative int")
+
+    counters = payload.get("counters")
+    _expect(isinstance(counters, dict), "counters", "expected an object")
+    for name, value in counters.items():
+        _expect(isinstance(value, int), f"counters.{name}", "expected an int")
+
+    spans = payload.get("spans")
+    _expect(isinstance(spans, list), "spans", "expected a list")
+    for position, span in enumerate(spans):
+        where = f"spans[{position}]"
+        _expect(isinstance(span, dict), where, "expected an object")
+        _expect(isinstance(span.get("name"), str) and span["name"],
+                f"{where}.name", "expected a non-empty string")
+        _expect_number(span.get("ts_us"), f"{where}.ts_us")
+        _expect_number(span.get("dur_us"), f"{where}.dur_us", minimum=0.0)
+    return payload

@@ -1,0 +1,179 @@
+"""Span tracing with JSON and Chrome ``trace_event`` exporters.
+
+A :class:`Tracer` records *spans* — named, nested intervals on the
+monotonic clock — via a context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("build_indexes"):
+        with tracer.span("build_index", alias="E1"):
+            adapter.build()
+
+Spans use :meth:`repro.joins.results.Stopwatch.now_ns` as their clock —
+the same ``time.perf_counter_ns`` source every join driver times its
+phases with, so span durations and ``JoinMetrics`` timings are directly
+comparable.  (The import is lazy to keep ``repro.obs`` import-cycle-free:
+``joins`` imports ``obs`` at module level, not vice versa.)
+
+Exports:
+
+* :meth:`Tracer.as_dicts` — plain span dicts (microsecond timestamps),
+  embedded in the :class:`~repro.obs.profile.JoinProfile` JSON;
+* :meth:`Tracer.to_chrome` — a Chrome ``trace_event`` document (complete
+  ``"X"`` events) loadable in ``chrome://tracing`` / Perfetto.
+
+:data:`NULL_TRACER` is the disabled twin: ``span()`` hands back one
+shared no-op context manager, so a disabled trace point costs a method
+call and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class _SpanHandle:
+    """One live span; records itself on the tracer at ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        self._depth = len(tracer._stack)
+        tracer._stack.append(self.name)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._stack.pop()
+        tracer._record(self.name, self._start, end - self._start,
+                       self._depth, self.args)
+        return False
+
+
+class Tracer:
+    """Collects nested spans against the shared monotonic clock."""
+
+    enabled = True
+
+    __slots__ = ("_spans", "_stack", "_clock", "_origin")
+
+    def __init__(self, clock=None):
+        if clock is None:
+            from repro.joins.results import Stopwatch
+            clock = Stopwatch.now_ns
+        self._clock = clock
+        self._origin: int = clock()
+        #: finished spans as (name, start_ns, duration_ns, depth, args)
+        self._spans: list[tuple] = []
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **args) -> _SpanHandle:
+        """A context manager timing one named span; ``args`` is attached
+        verbatim to the exported event."""
+        return _SpanHandle(self, name, args)
+
+    def add_span(self, name: str, start_ns: int, duration_ns: int,
+                 **args) -> None:
+        """Record an already-measured interval as a span.
+
+        The escape hatch for loops that time with a plain
+        :class:`~repro.joins.results.Stopwatch` and only want to pay the
+        span bookkeeping when tracing is on (the ``tracer.enabled``
+        pattern RA601 checks for).
+        """
+        self._record(name, start_ns, duration_ns, len(self._stack), args)
+
+    def _record(self, name: str, start_ns: int, duration_ns: int,
+                depth: int, args: dict) -> None:
+        self._spans.append((name, start_ns, duration_ns, depth, args))
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def as_dicts(self) -> list[dict]:
+        """Finished spans, start-ordered, timestamps in µs from the
+        tracer's construction instant."""
+        origin = self._origin
+        spans = sorted(self._spans, key=lambda s: s[1])
+        return [
+            {
+                "name": name,
+                "ts_us": round((start - origin) / 1000.0, 3),
+                "dur_us": round(duration / 1000.0, 3),
+                "depth": depth,
+                "args": dict(args),
+            }
+            for name, start, duration, depth, args in spans
+        ]
+
+    def to_chrome(self) -> dict:
+        """A Chrome ``trace_event`` JSON document (Perfetto-loadable)."""
+        events = [
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["ts_us"],
+                "dur": span["dur_us"],
+                "pid": 1,
+                "tid": 1,
+                "cat": "repro",
+                "args": span["args"],
+            }
+            for span in self.as_dicts()
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: "str | Path") -> Path:
+        """Serialize :meth:`to_chrome` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(), indent=2) + "\n")
+        return path
+
+
+class _NullSpan:
+    """The shared no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __init__(self):
+        self._clock = None
+        self._origin = 0
+        self._spans = []
+        self._stack = []
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, start_ns: int, duration_ns: int,
+                 **args) -> None:
+        pass
+
+
+#: the shared disabled tracer
+NULL_TRACER = NullTracer()

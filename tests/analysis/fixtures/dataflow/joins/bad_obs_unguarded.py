@@ -1,0 +1,46 @@
+"""Planted RA601: unguarded observability calls in innermost loops."""
+
+
+def probe_loop_counts_every_value(values, metrics):
+    hits = 0
+    for value in values:
+        metrics.inc("probe.values")  # RA601: unguarded obs call per value
+        hits += value
+    return hits
+
+
+def probe_loop_traces_every_value(values, tracer):
+    for value in values:
+        with tracer.span("probe", value=value):  # RA601: unguarded span
+            consume(value)
+
+
+def guard_blesses_then_branch_only(values, metrics):
+    for value in values:
+        if metrics.enabled:
+            metrics.observe("probe.value", value)  # guarded: not flagged
+        else:
+            metrics.inc("probe.skipped")  # RA601: else keeps outer state
+        consume(value)
+
+
+def guarded_probe_loop(values, obs):
+    obs_enabled = obs.enabled
+    hits = 0
+    for value in values:
+        if obs_enabled:
+            obs.metrics.inc("probe.values")  # guarded by hoisted flag
+        hits += value
+    return hits
+
+
+def accumulate_then_flush(values, metrics):
+    count = 0
+    for value in values:
+        count += 1  # plain accumulation: the sanctioned pattern
+    metrics.inc("probe.values", count)  # outside the loop: not flagged
+    return count
+
+
+def consume(value):
+    return value

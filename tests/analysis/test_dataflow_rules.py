@@ -207,6 +207,90 @@ class TestHotLoopDetection:
         ) == set()
 
 
+class TestUnguardedObsDetection:
+    def test_unguarded_metrics_call_flagged(self):
+        findings = analyze_source(
+            "def f(rows, metrics):\n"
+            "    for row in rows:\n"
+            "        metrics.inc('probe')\n"
+            "        use(row)\n",
+            JOIN_PATH,
+        )
+        assert [(f.rule, f.line) for f in findings
+                if f.rule == "RA601"] == [("RA601", 3)]
+
+    def test_enabled_guard_is_clean(self):
+        assert "RA601" not in rules_at(
+            "def f(rows, metrics):\n"
+            "    for row in rows:\n"
+            "        if metrics.enabled:\n"
+            "            metrics.inc('probe')\n"
+            "        use(row)\n"
+        )
+
+    def test_hoisted_flag_is_clean(self):
+        assert "RA601" not in rules_at(
+            "def f(rows, obs):\n"
+            "    obs_enabled = obs.enabled\n"
+            "    for row in rows:\n"
+            "        if obs_enabled:\n"
+            "            obs.metrics.observe('row', row)\n"
+            "        use(row)\n"
+        )
+
+    def test_else_branch_keeps_outer_guard_state(self):
+        findings = analyze_source(
+            "def f(rows, metrics):\n"
+            "    for row in rows:\n"
+            "        if metrics.enabled:\n"
+            "            metrics.inc('on')\n"
+            "        else:\n"
+            "            metrics.inc('off')\n",
+            JOIN_PATH,
+        )
+        assert [f.line for f in findings if f.rule == "RA601"] == [6]
+
+    def test_local_accumulation_is_clean(self):
+        assert "RA601" not in rules_at(
+            "def f(rows, metrics):\n"
+            "    count = 0\n"
+            "    for row in rows:\n"
+            "        count += 1\n"
+            "    metrics.inc('rows', count)\n"
+        )
+
+    def test_unguarded_tracer_span_flagged(self):
+        findings = analyze_source(
+            "def f(rows, tracer):\n"
+            "    for row in rows:\n"
+            "        with tracer.span('probe'):\n"
+            "            use(row)\n",
+            JOIN_PATH,
+        )
+        assert any(f.rule == "RA601" and f.line == 3 for f in findings)
+
+    def test_outer_loop_not_innermost_is_exempt(self):
+        # only innermost loops are hot; the outer per-relation loop may
+        # pay an obs call per iteration
+        assert "RA601" not in rules_at(
+            "def f(groups, metrics):\n"
+            "    for group in groups:\n"
+            "        metrics.inc('group')\n"
+            "        for row in group:\n"
+            "            use(row)\n"
+        )
+
+    def test_scope_excludes_non_hot_paths(self):
+        source = (
+            "def f(rows, metrics):\n"
+            "    for row in rows:\n"
+            "        metrics.inc('probe')\n"
+        )
+        assert "RA601" in rules_at(source, "src/repro/joins/x.py")
+        assert "RA601" in rules_at(source, "src/repro/indexes/x.py")
+        assert "RA601" not in rules_at(source, "src/repro/planner/x.py")
+
+
 class TestSuppressionAndFixtures:
     def test_noqa_silences_dataflow_rule(self):
         source = (
@@ -223,6 +307,7 @@ class TestSuppressionAndFixtures:
         "bad_freeze.py": {"RA404"},
         "joins/bad_hot_alloc.py": {"RA501"},
         "joins/bad_linear.py": {"RA501", "RA502"},
+        "joins/bad_obs_unguarded.py": {"RA601"},
         "bad_dead_store.py": {"RA503"},
         "bad_use_before_def.py": {"RA504"},
     }
@@ -237,7 +322,7 @@ class TestSuppressionAndFixtures:
         findings = analyze_paths([FIXTURES / "dataflow"])
         got = {f.rule for f in findings}
         assert {"RA401", "RA402", "RA403", "RA404",
-                "RA501", "RA502", "RA503", "RA504"} <= got
+                "RA501", "RA502", "RA503", "RA504", "RA601"} <= got
 
     def test_clean_counterexample_stays_clean(self):
         assert analyze_paths([FIXTURES / "clean"]) == []

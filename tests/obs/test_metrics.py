@@ -1,0 +1,68 @@
+"""Metrics registry: counters, histograms, merge, and the null object."""
+
+from repro.obs.metrics import Metrics, NULL_METRICS, NullMetrics
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        m = Metrics()
+        m.inc("probe.lookups")
+        m.inc("probe.lookups", 4)
+        assert m.get("probe.lookups") == 5
+
+    def test_get_untouched_is_zero(self):
+        assert Metrics().get("never") == 0
+
+    def test_as_dict_sorts_counters(self):
+        m = Metrics()
+        m.inc("b.second")
+        m.inc("a.first")
+        assert list(m.as_dict()["counters"]) == ["a.first", "b.second"]
+
+
+class TestHistograms:
+    def test_observe_tracks_count_total_min_max_mean(self):
+        m = Metrics()
+        for value in (4, 1, 7):
+            m.observe("batch.candidates_size", value)
+        h = m.histograms()["batch.candidates_size"]
+        assert h == {"count": 3, "total": 12, "min": 1, "max": 7, "mean": 4.0}
+
+    def test_single_observation(self):
+        m = Metrics()
+        m.observe("x", 9)
+        h = m.histograms()["x"]
+        assert (h["count"], h["min"], h["max"], h["mean"]) == (1, 9, 9, 9.0)
+
+
+class TestMerge:
+    def test_merge_folds_counters_and_histograms(self):
+        a, b = Metrics(), Metrics()
+        a.inc("shared", 2)
+        a.observe("sizes", 10)
+        b.inc("shared", 3)
+        b.inc("only_b")
+        b.observe("sizes", 2)
+        a.merge(b)
+        assert a.get("shared") == 5
+        assert a.get("only_b") == 1
+        h = a.histograms()["sizes"]
+        assert (h["count"], h["total"], h["min"], h["max"]) == (2, 12, 2, 10)
+
+
+class TestNullMetrics:
+    def test_enabled_flags(self):
+        assert Metrics.enabled is True
+        assert NullMetrics.enabled is False
+        assert NULL_METRICS.enabled is False
+
+    def test_null_records_nothing(self):
+        NULL_METRICS.inc("anything", 100)
+        NULL_METRICS.observe("anything", 100)
+        assert NULL_METRICS.get("anything") == 0
+        assert NULL_METRICS.counters == {}
+        assert NULL_METRICS.histograms() == {}
+
+    def test_null_shares_the_metrics_surface(self):
+        # consumers never test for None: both classes answer the same calls
+        assert NULL_METRICS.as_dict() == {"counters": {}, "histograms": {}}

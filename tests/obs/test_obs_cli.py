@@ -1,0 +1,80 @@
+"""The ``python -m repro.obs`` CLI: demos, exports, and error paths."""
+
+import json
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.obs.cli import main
+from repro.obs.profile import validate_profile
+
+
+class TestDemoRuns:
+    def test_triangle_demo_prints_report(self, capsys):
+        assert main(["--demo", "triangle"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "counters:" in out
+
+    def test_exports_validate(self, tmp_path, capsys):
+        json_out = tmp_path / "profile.json"
+        trace_out = tmp_path / "trace.json"
+        assert main(["--demo", "triangle", "--quiet",
+                     "--json", str(json_out),
+                     "--trace", str(trace_out)]) == 0
+        assert capsys.readouterr().out == ""
+
+        payload = json.loads(json_out.read_text())
+        validate_profile(payload)
+        assert payload["algorithm"] == "generic_join"
+
+        doc = json.loads(trace_out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"], "trace must carry at least one span"
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "cat"}
+
+    def test_engine_flag_reaches_the_profile(self, tmp_path):
+        json_out = tmp_path / "profile.json"
+        assert main(["--demo", "triangle", "--quiet", "--engine", "batch",
+                     "--json", str(json_out)]) == 0
+        payload = json.loads(json_out.read_text())
+        assert payload["engine"] == "batch"
+
+
+class TestQueryFlags:
+    def test_query_with_csv_relations(self, tmp_path, capsys):
+        csv = tmp_path / "edges.csv"
+        csv.write_text("src,dst\n0,1\n1,2\n2,0\n")
+        binding = f"E1={csv}"
+        assert main(["--query", "E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+                     "--relation", binding,
+                     "--relation", f"E2={csv}",
+                     "--relation", f"E3={csv}"]) == 0
+        assert "results=3" in capsys.readouterr().out
+
+    def test_spec_file(self, tmp_path, capsys):
+        csv = tmp_path / "edges.csv"
+        csv.write_text("src,dst\n0,1\n1,2\n2,0\n")
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "query": "E1=E(a,b), E2=E(b,c), E3=E(c,a)",
+            "relations": {"E1": str(csv), "E2": str(csv), "E3": str(csv)},
+            "algorithm": "leapfrog",
+        }))
+        assert main(["--spec", str(spec), "--quiet"]) == 0
+
+
+class TestErrorPaths:
+    def test_no_workload_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_two_workloads_is_usage_error(self, tmp_path):
+        assert main(["--demo", "triangle", "--query", "E1=E(a,b)"]) == 2
+
+    def test_query_without_relations(self):
+        with pytest.raises(SystemExit):
+            main(["--query", "E1=E(a,b)"])
