@@ -19,16 +19,32 @@ Suite (seeds and sizes pinned — reruns are comparable):
 Every case runs both engines and **fails loudly on any count divergence**
 — the script doubles as the CI equivalence gate (smoke mode).
 
+Each case also carries a ``warm`` column: the same query re-executed
+through a :class:`~repro.engine.session.Session`-prepared join, whose
+indexes come out of the session cache instead of being rebuilt — the
+serving-path cost the staged engine exists to eliminate.  A dedicated
+``sessions`` section additionally verifies the cache *counters* (exact
+hit/miss accounting on the pinned triangle — counter gates are CI-safe
+where wall-clock gates are not) and measures a build-dominated
+``triangle_hot`` serving case: a handful of hot vertices probed against
+the full pinned edge relation, where cold cost ≈ index build and the
+warm/cold ratio is the headline number (``--min-warm-speedup``).
+
 Usage::
 
     python benchmarks/bench_trajectory.py            # full run, ~minutes
     python benchmarks/bench_trajectory.py --smoke    # CI-sized, seconds
     python benchmarks/bench_trajectory.py --min-speedup 3.0   # + perf gate
+    python benchmarks/bench_trajectory.py --smoke --sessions-only
+    python benchmarks/bench_trajectory.py --min-warm-speedup 5.0
 
 ``--min-speedup X`` additionally requires batch to beat tuple by ``X``x
 (probe time) on every triangle case with >= 50k edges; used when
 refreshing the committed full-run JSON, not in smoke mode (wall-clock
-gates on shared CI runners are flake factories).
+gates on shared CI runners are flake factories).  ``--min-warm-speedup``
+is the warm-path analogue, gating the ``triangle_hot`` serving case;
+``--sessions-only`` runs just the session section (the CI session-reuse
+smoke job).
 
 The run also measures the **observability overhead** (``obs_overhead``
 in the output JSON): probe time with no observer vs a present-but-
@@ -51,9 +67,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.data.graphs import random_edge_relation          # noqa: E402
 from repro.data.imdb import job_light_queries, make_imdb    # noqa: E402
+from repro.engine import Session                            # noqa: E402
 from repro.joins import join                                # noqa: E402
 from repro.obs.observer import JoinObserver                 # noqa: E402
 from repro.planner.query import parse_query                 # noqa: E402
+from repro.storage.relation import Relation                 # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_generic_join.json"
 ENGINES = ("tuple", "batch")
@@ -96,22 +114,52 @@ def _run_engine(query, relations, engine: str, index: str, repeats: int):
     return best
 
 
+def _run_warm(query, relations, index: str, repeats: int) -> dict:
+    """Best-of-``repeats`` warm (session-prepared) re-execution timings.
+
+    One :class:`Session` prepares the query once — paying every index
+    build into the cache — then each timed run re-executes the prepared
+    join with all structures coming out of the cache (``build_s`` is 0
+    by construction; an assertion would be redundant with the dedicated
+    session section's counter gate).
+    """
+    with Session(relations) as session:
+        prepared = session.prepare(query, index=index, engine="tuple")
+        prepared.execute()  # consume the one-time build charge
+        best = None
+        for _ in range(repeats):
+            result = prepared.execute()
+            metrics = result.metrics
+            if best is None or metrics.probe_seconds < best["probe_s"]:
+                best = {
+                    "count": result.count,
+                    "probe_s": round(metrics.probe_seconds, 6),
+                    "total_s": round(metrics.total_seconds, 6),
+                }
+    return best
+
+
 def _run_case(name: str, workload: str, query, relations,
               index: str, repeats: int, detail: dict) -> dict:
     case = {"name": name, "workload": workload, "index": index, **detail}
     for engine in ENGINES:
         case[engine] = _run_engine(query, relations, engine, index, repeats)
+    case["warm"] = _run_warm(query, relations, index, repeats)
     counts = {engine: case[engine]["count"] for engine in ENGINES}
+    counts["warm"] = case["warm"]["count"]
     case["count"] = counts["tuple"]
     case["diverged"] = len(set(counts.values())) > 1
     tuple_probe, batch_probe = case["tuple"]["probe_s"], case["batch"]["probe_s"]
     tuple_total, batch_total = case["tuple"]["total_s"], case["batch"]["total_s"]
+    warm_total = case["warm"]["total_s"]
     case["probe_speedup"] = round(tuple_probe / batch_probe, 3) if batch_probe else None
     case["total_speedup"] = round(tuple_total / batch_total, 3) if batch_total else None
+    case["warm_speedup"] = round(tuple_total / warm_total, 3) if warm_total else None
     status = "DIVERGED" if case["diverged"] else "ok"
     print(f"  {name:42s} count={counts['tuple']:<10d} "
           f"probe {tuple_probe:.3f}s -> {batch_probe:.3f}s "
-          f"({case['probe_speedup']}x)  [{status}]")
+          f"({case['probe_speedup']}x)  "
+          f"warm {warm_total:.3f}s ({case['warm_speedup']}x)  [{status}]")
     return case
 
 
@@ -206,11 +254,147 @@ def measure_obs_overhead(smoke: bool, index: str) -> dict:
     return report
 
 
+#: session section: pinned counter-verification graph (always this size —
+#: counter accounting is size-independent, so keep it CI-cheap)
+SESSION_GRAPH = (600, 2_000)
+#: the hot-vertex serving case runs on the largest pinned triangle graph
+HOT_GRAPH = (10_000, 100_000)
+HOT_GRAPH_SMOKE = (600, 2_000)
+HOT_VERTEX_COUNT = 64
+HOT_QUERY = parse_query("E1=H(a,b), E2=E(b,c), E3=E(c,a)")
+
+
+def verify_session_cache(index: str) -> dict:
+    """Exact cache accounting on the pinned triangle (always gated).
+
+    Wall-clock speedups flake on shared runners; cache *counters* do
+    not.  The triangle self-join must produce exactly 2 misses (one per
+    distinct column permutation of the shared edge storage), 1 hit
+    (E2 reuses E1's build), and 3 more hits on a second prepare — and
+    warm re-execution must report ``build_seconds == 0.0`` exactly,
+    proving no index was rebuilt on the serving path.
+    """
+    nodes, edges = SESSION_GRAPH
+    relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+    relations = {"E1": relation, "E2": relation, "E3": relation}
+    with Session(relations) as session:
+        prepared = session.prepare(TRIANGLE, index=index)
+        first = prepared.execute()
+        warm = prepared.execute()
+        rewarm = session.prepare(TRIANGLE, index=index).execute()
+        stats = session.cache_stats()
+    expected = {"misses": 2, "hits": 4, "entries": 2}
+    observed = {"misses": stats.misses, "hits": stats.hits,
+                "entries": stats.entries}
+    report = {
+        "workload": f"triangle_n{nodes}_m{edges}",
+        "index": index,
+        "expected": expected,
+        "observed": observed,
+        "first_build_s": round(first.metrics.build_seconds, 6),
+        "warm_build_s": warm.metrics.build_seconds,
+        "counts_agree": first.count == warm.count == rewarm.count,
+        "ok": (observed == expected
+               and first.metrics.build_seconds > 0.0
+               and warm.metrics.build_seconds == 0.0
+               and first.count == warm.count == rewarm.count),
+    }
+    print("session cache:")
+    print(f"  {report['workload']:42s} "
+          f"misses={observed['misses']} hits={observed['hits']} "
+          f"entries={observed['entries']} warm_build={report['warm_build_s']}s "
+          f"[{'ok' if report['ok'] else 'FAIL'}]")
+    return report
+
+
+def run_triangle_hot(smoke: bool, index: str, repeats: int) -> dict:
+    """The build-dominated serving case behind ``--min-warm-speedup``.
+
+    A handful of "hot" vertices (their out-edges as a small relation H)
+    joined against the full pinned edge relation: the probe touches a
+    sliver of the graph, so cold cost is almost entirely the two big
+    index builds the session cache amortizes away.  This is the staged
+    engine's headline workload — repeated small queries over a large,
+    slowly-changing graph.
+    """
+    nodes, edges = HOT_GRAPH_SMOKE if smoke else HOT_GRAPH
+    relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+    sources = sorted({row[0] for row in relation.rows})
+    step = max(1, len(sources) // HOT_VERTEX_COUNT)
+    hot = set(sources[::step][:HOT_VERTEX_COUNT])
+    hot_edges = Relation("H", ("src", "dst"),
+                         [row for row in relation.rows if row[0] in hot])
+    relations = {"E1": hot_edges, "E2": relation, "E3": relation}
+
+    cold = None
+    for _ in range(repeats):
+        result = join(HOT_QUERY, relations, index=index, engine="tuple")
+        metrics = result.metrics
+        if cold is None or metrics.total_seconds < cold["total_s"]:
+            cold = {
+                "count": result.count,
+                "build_s": round(metrics.build_seconds, 6),
+                "probe_s": round(metrics.probe_seconds, 6),
+                "total_s": round(metrics.total_seconds, 6),
+            }
+    warm = _run_warm(HOT_QUERY, relations, index, max(repeats, 3))
+
+    warm_total = warm["total_s"]
+    speedup = round(cold["total_s"] / warm_total, 3) if warm_total else None
+    report = {
+        "name": f"triangle_hot_n{nodes}_m{edges}",
+        "nodes": nodes,
+        "edges": edges,
+        "hot_vertices": HOT_VERTEX_COUNT,
+        "hot_edges": len(hot_edges),
+        "index": index,
+        "count": cold["count"],
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": speedup,
+        "diverged": cold["count"] != warm["count"],
+    }
+    status = "DIVERGED" if report["diverged"] else "ok"
+    print(f"  {report['name']:42s} count={cold['count']:<10d} "
+          f"cold {cold['total_s']:.3f}s -> warm {warm_total:.3f}s "
+          f"({speedup}x)  [{status}]")
+    return report
+
+
+def run_session_suite(smoke: bool, index: str, repeats: int) -> dict:
+    sessions = {"cache": verify_session_cache(index)}
+    print("triangle_hot:")
+    sessions["triangle_hot"] = run_triangle_hot(smoke, index, repeats)
+    return sessions
+
+
 def check_gates(cases: list[dict], min_speedup: float,
                 obs_overhead: "dict | None" = None,
-                max_obs_overhead: float = 0.0) -> list[str]:
+                max_obs_overhead: float = 0.0,
+                sessions: "dict | None" = None,
+                min_warm_speedup: float = 0.0) -> list[str]:
     """Equivalence gate (always) and the optional speedup/overhead gates."""
     failures = []
+    if sessions is not None:
+        cache = sessions["cache"]
+        if not cache["ok"]:
+            failures.append(
+                f"session cache accounting: expected {cache['expected']}, "
+                f"observed {cache['observed']} "
+                f"(warm build {cache['warm_build_s']}s, "
+                f"counts_agree={cache['counts_agree']})"
+            )
+        hot = sessions["triangle_hot"]
+        if hot["diverged"]:
+            failures.append(
+                f"{hot['name']}: warm count {hot['warm']['count']} != "
+                f"cold count {hot['cold']['count']}"
+            )
+        if min_warm_speedup > 0 and (hot["warm_speedup"] or 0) < min_warm_speedup:
+            failures.append(
+                f"{hot['name']}: warm speedup {hot['warm_speedup']}x below "
+                f"the {min_warm_speedup}x gate"
+            )
     if obs_overhead is not None and max_obs_overhead > 0:
         measured = obs_overhead["disabled_overhead_pct"]
         if measured > max_obs_overhead:
@@ -249,6 +433,14 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="fail unless batch beats tuple by this factor "
                              "(probe time) on triangles with >=50k edges")
+    parser.add_argument("--min-warm-speedup", type=float, default=0.0,
+                        help="fail unless session-prepared warm re-execution "
+                             "beats a cold join() by this factor (total time) "
+                             "on the triangle_hot serving case")
+    parser.add_argument("--sessions-only", action="store_true",
+                        help="run only the session section (cache counter "
+                             "verification + triangle_hot); the CI "
+                             "session-reuse smoke job")
     parser.add_argument("--max-obs-overhead", type=float, default=5.0,
                         help="fail if a disabled observer costs more than "
                              "this %% probe time vs no observer at all "
@@ -258,11 +450,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.smoke else 3)
 
-    cases = run_suite(args.smoke, args.index, repeats)
-    obs_overhead = measure_obs_overhead(args.smoke, args.index)
+    if args.sessions_only:
+        cases: list[dict] = []
+        obs_overhead = None
+    else:
+        cases = run_suite(args.smoke, args.index, repeats)
+        obs_overhead = measure_obs_overhead(args.smoke, args.index)
+    sessions = run_session_suite(args.smoke, args.index, repeats)
     failures = check_gates(cases, args.min_speedup,
                            obs_overhead=obs_overhead,
-                           max_obs_overhead=args.max_obs_overhead)
+                           max_obs_overhead=args.max_obs_overhead,
+                           sessions=sessions,
+                           min_warm_speedup=args.min_warm_speedup)
 
     payload = {
         "suite": "generic_join_trajectory",
@@ -272,10 +471,14 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "graph_seed": GRAPH_SEED,
         "cases": cases,
+        "sessions": sessions,
         "obs_overhead": obs_overhead,
     }
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.output} ({len(cases)} cases)")
+    if args.sessions_only:
+        print(f"\nsessions-only run: not rewriting {args.output}")
+    else:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.output} ({len(cases)} cases)")
 
     if failures:
         for failure in failures:

@@ -21,6 +21,7 @@ paper-vs-measured record.
 
 from repro.core import SonicConfig, SonicIndex
 from repro.core.adapter import IndexAdapter
+from repro.engine import IndexCache, JoinPlan, PreparedJoin, Session
 from repro.errors import (
     CapacityError,
     ConfigurationError,
@@ -62,15 +63,19 @@ __all__ = [
     "HashTrieJoin",
     "Hypergraph",
     "IndexAdapter",
+    "IndexCache",
+    "JoinPlan",
     "JoinQuery",
     "JoinResult",
     "LeapfrogTrieJoin",
     "PlanValidationError",
+    "PreparedJoin",
     "QueryError",
     "Relation",
     "ReproError",
     "Schema",
     "SchemaError",
+    "Session",
     "SonicConfig",
     "SonicIndex",
     "UnsupportedOperationError",

@@ -12,7 +12,7 @@ Three engines, one diagnostic currency (:class:`~repro.analysis.findings.Finding
 2. **Contract checker** (:mod:`~repro.analysis.contracts`) — RA201–RA205,
    introspecting :mod:`repro.indexes.registry` for the paper's §4.1
    ``TupleIndex``/``PrefixCursor`` plug-in contract.
-3. **Plan validator** (:mod:`~repro.analysis.plancheck`) — RA301–RA305,
+3. **Plan validator** (:mod:`~repro.analysis.plancheck`) — RA301–RA307,
    static checks on :class:`~repro.planner.query.JoinQuery` plans
    (attribute cover, γ permutation, AGM cover feasibility, schema
    consistency), run by the executor in debug mode.
@@ -35,7 +35,13 @@ from repro.analysis.engine import (
     select_rules,
 )
 from repro.analysis.findings import Finding, Severity, has_errors
-from repro.analysis.plancheck import PlanIssue, check_plan, validate_plan
+from repro.analysis.plancheck import (
+    PlanIssue,
+    check_join_plan,
+    check_plan,
+    validate_join_plan,
+    validate_plan,
+)
 from repro.analysis.reporters import (
     render_json,
     render_sarif,
@@ -55,6 +61,7 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "check_join_plan",
     "check_plan",
     "check_registry",
     "has_errors",
@@ -64,6 +71,7 @@ __all__ = [
     "render_text",
     "select_rules",
     "summarize",
+    "validate_join_plan",
     "validate_plan",
 ]
 

@@ -1,4 +1,4 @@
-"""Static plan validation (RA301–RA305) for queries and QP artifacts.
+"""Static plan validation (RA301–RA307) for queries and plan IR.
 
 Run *before* execution, these checks catch the plan-level mistakes that
 would otherwise surface as silently-wrong join results deep inside a
@@ -15,11 +15,21 @@ benchmark sweep:
   or a relation whose arity/attributes disagree with its atom.
 * **RA305** — duplicate atom aliases (self-join occurrences must be
   distinguishable).
+* **RA306** — compiled-plan index-spec inconsistency
+  (:func:`validate_join_plan`): a spec whose permutation does not match
+  its attribute count, a hashtable spec without a key split, an atom
+  with no (or more than one) spec, or a spec for an alias the query
+  does not contain.
+* **RA307** — a compiled plan carrying an unresolved or unknown
+  algorithm/engine (``"auto"`` must be resolved by the plan stage; an
+  executor dispatching an unknown name would mis-execute).
 
 Feasibility of a given cover needs no LP — it is a linear scan — so this
 module stays dependency-free and cheap enough for
 :func:`repro.joins.executor.join` to run it on every call in debug mode
-(``debug=True`` or ``REPRO_DEBUG=1``).
+(``debug=True`` or ``REPRO_DEBUG=1``).  The RA306/RA307 checks accept
+any object shaped like :class:`repro.engine.ir.JoinPlan` (duck-typed,
+so this module never imports the engine package it validates).
 """
 
 from __future__ import annotations
@@ -169,6 +179,136 @@ def _check_relations(query: JoinQuery,
                 f"but its relation's schema carries {schema_attributes}",
             ))
     return issues
+
+
+#: resolved algorithm names a compiled plan may carry (never "auto")
+_RESOLVED_ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog",
+                        "recursive")
+#: resolved engine names ("" = not applicable, i.e. non-generic plans)
+_RESOLVED_ENGINES = ("", "tuple", "batch")
+
+
+def validate_join_plan(plan,
+                       relations: "Mapping[str, object] | None" = None,
+                       ) -> list[PlanIssue]:
+    """RA306/RA307 checks over a compiled :class:`~repro.engine.ir.JoinPlan`.
+
+    ``plan`` is duck-typed (``query`` / ``algorithm`` / ``engine`` /
+    ``total_order`` / ``atom_order`` / ``index_specs`` attributes) so
+    the validator has no dependency on the engine package.  With
+    ``relations``, spec permutations are additionally checked against
+    each relation's actual arity.
+    """
+    issues: list[PlanIssue] = []
+
+    algorithm = getattr(plan, "algorithm", None)
+    if algorithm not in _RESOLVED_ALGORITHMS:
+        issues.append(PlanIssue(
+            "RA307",
+            f"plan carries unresolved or unknown algorithm {algorithm!r}; "
+            f"a compiled plan must name one of {_RESOLVED_ALGORITHMS}",
+        ))
+    engine = getattr(plan, "engine", "")
+    if engine not in _RESOLVED_ENGINES:
+        issues.append(PlanIssue(
+            "RA307",
+            f"plan carries unresolved or unknown engine {engine!r}; "
+            f"a compiled plan must name one of {_RESOLVED_ENGINES}",
+        ))
+
+    query = plan.query
+    aliases = {atom.alias for atom in query.atoms}
+    specs = tuple(plan.index_specs)
+    seen: set[str] = set()
+    for spec in specs:
+        if spec.alias not in aliases:
+            issues.append(PlanIssue(
+                "RA306",
+                f"index spec targets alias {spec.alias!r}, which the "
+                "query does not contain",
+            ))
+        if spec.alias in seen:
+            issues.append(PlanIssue(
+                "RA306",
+                f"alias {spec.alias!r} has more than one index spec",
+            ))
+        seen.add(spec.alias)
+        if len(spec.permutation) != len(spec.attribute_order):
+            issues.append(PlanIssue(
+                "RA306",
+                f"index spec for {spec.alias!r} permutes "
+                f"{len(spec.permutation)} columns but orders "
+                f"{len(spec.attribute_order)} attributes",
+            ))
+        if sorted(spec.permutation) != list(range(len(spec.permutation))):
+            issues.append(PlanIssue(
+                "RA306",
+                f"index spec for {spec.alias!r} has permutation "
+                f"{spec.permutation}, not a permutation of column "
+                "positions",
+            ))
+        if spec.kind == "hashtable" and spec.key_arity is None:
+            issues.append(PlanIssue(
+                "RA306",
+                f"hashtable spec for {spec.alias!r} carries no key split "
+                "(key_arity is None): the probe key is undefined",
+            ))
+        if (spec.key_arity is not None
+                and not 0 <= spec.key_arity <= len(spec.attribute_order)):
+            issues.append(PlanIssue(
+                "RA306",
+                f"index spec for {spec.alias!r} has key_arity "
+                f"{spec.key_arity} outside its {len(spec.attribute_order)} "
+                "attributes",
+            ))
+        if relations is not None and spec.alias in (relations or {}):
+            arity = getattr(relations[spec.alias], "arity", None)
+            if arity is not None and len(spec.permutation) > arity:
+                issues.append(PlanIssue(
+                    "RA306",
+                    f"index spec for {spec.alias!r} permutes "
+                    f"{len(spec.permutation)} columns but its relation "
+                    f"has arity {arity}",
+                ))
+
+    if algorithm == "binary":
+        atom_order = tuple(getattr(plan, "atom_order", ()))
+        if sorted(atom_order) != sorted(aliases):
+            issues.append(PlanIssue(
+                "RA306",
+                f"binary plan's atom order {list(atom_order)} is not a "
+                "permutation of the query's atom aliases",
+            ))
+        else:
+            expected = set(atom_order[1:])
+            if seen != expected:
+                issues.append(PlanIssue(
+                    "RA306",
+                    "binary plan must carry exactly one hashtable spec "
+                    f"per non-leading atom {sorted(expected)}, got "
+                    f"{sorted(seen)}",
+                ))
+    elif algorithm in _RESOLVED_ALGORITHMS:
+        if seen != aliases:
+            issues.append(PlanIssue(
+                "RA306",
+                f"plan must carry exactly one index spec per atom "
+                f"{sorted(aliases)}, got {sorted(seen)}",
+            ))
+        issues.extend(_check_order(query, plan.total_order))
+
+    return issues
+
+
+def check_join_plan(plan,
+                    relations: "Mapping[str, object] | None" = None) -> None:
+    """Raise :class:`~repro.errors.PlanValidationError` on any IR defect."""
+    issues = validate_join_plan(plan, relations=relations)
+    if issues:
+        summary = "; ".join(issue.render() for issue in issues)
+        raise PlanValidationError(
+            f"plan validation failed for {plan.query}: {summary}"
+        )
 
 
 def check_plan(query: JoinQuery,

@@ -1,0 +1,209 @@
+"""The session-scoped index cache: build once, probe many times.
+
+The paper treats ad-hoc index build as part of every WCOJ run (§5.15),
+and the cold :func:`repro.joins.join` path keeps that timing semantics.
+But the ROADMAP's serving scenario — heavy repeated traffic over
+slowly-changing relations — makes per-query rebuilds the dominant wasted
+cost.  This cache closes that gap at the **prepare** stage: a built
+structure (a registry index, a binary-stage hash table, a frozen row
+set) is stored under
+
+    ``(relation fingerprint, kind, column permutation, options[, key arity])``
+
+where the fingerprint is :meth:`repro.storage.relation.Relation.
+fingerprint` — ``(storage identity, version)``.  Mutating a relation
+bumps the shared version counter, so every entry built against the old
+contents silently stops matching and ages out; no invalidation hooks,
+no back-pointers from relations into caches.
+
+Eviction is LRU under two budgets: an entry-count cap and a byte budget
+fed by per-structure estimates (``memory_usage()`` when the structure
+reports one, a tuple-count heuristic otherwise).  Counters
+(``cache.hit`` / ``cache.miss`` / ``cache.store`` / ``cache.evict``) go
+to the registry the cache was constructed with — a session's registry,
+so hit rates survive across runs — and are mirrored into any enabled
+per-run observer by the prepare stage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs.metrics import Metrics
+from repro.storage.relation import Relation
+
+#: default byte budget: generous for benchmark-scale data, small enough
+#: that a long-lived session over many relations actually recycles
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+#: fallback per-value byte estimate when a structure reports no usage
+APPROX_BYTES_PER_VALUE = 64
+
+
+def estimate_structure_bytes(structure: object, tuples: int, arity: int) -> int:
+    """Bytes one cached structure is charged against the budget.
+
+    Prefers the structure's own ``memory_usage()`` (Sonic reports its
+    actual allocation, §3.5); anything else is charged a flat
+    per-stored-value heuristic — deliberately coarse, since the budget
+    exists to bound growth, not to be an allocator.
+    """
+    usage = getattr(structure, "memory_usage", None)
+    if callable(usage):
+        try:
+            reported = usage()
+        except Exception:
+            reported = None
+        if isinstance(reported, (int, float)) and reported > 0:
+            return int(reported)
+    return max(1, tuples) * max(1, arity) * APPROX_BYTES_PER_VALUE
+
+
+class CacheStats:
+    """Point-in-time cache accounting, returned by :meth:`IndexCache.stats`."""
+
+    __slots__ = ("hits", "misses", "stores", "evictions", "entries", "bytes")
+
+    def __init__(self, hits: int, misses: int, stores: int, evictions: int,
+                 entries: int, bytes_: int):
+        self.hits = hits
+        self.misses = misses
+        self.stores = stores
+        self.evictions = evictions
+        self.entries = entries
+        self.bytes = bytes_
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"stores={self.stores}, evictions={self.evictions}, "
+                f"entries={self.entries}, bytes={self.bytes})")
+
+
+class _Entry:
+    __slots__ = ("value", "bytes", "fingerprint")
+
+    def __init__(self, value: object, bytes_: int, fingerprint: tuple):
+        self.value = value
+        self.bytes = bytes_
+        self.fingerprint = fingerprint
+
+
+class IndexCache:
+    """LRU + byte-budget cache of built join-supporting structures.
+
+    One instance lives inside each :class:`~repro.engine.session.Session`;
+    the prepare stage is the only writer.  ``max_bytes=0`` (or
+    ``max_entries=0``) disables storage entirely — every lookup is a
+    miss and nothing is retained, which is how the back-compat
+    :func:`repro.joins.join` cold path preserves the paper's
+    build-included timing semantics.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES,
+                 max_entries: "int | None" = None,
+                 metrics: "Metrics | None" = None):
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._evictions = 0
+        self._stores = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0 and (self.max_entries is None
+                                       or self.max_entries > 0)
+
+    def key_for(self, relation: Relation, suffix: tuple) -> tuple:
+        """Full cache key: the relation's fingerprint + the spec suffix."""
+        return (relation.fingerprint(), *suffix)
+
+    def get(self, key: tuple) -> "object | None":
+        """The cached structure, marking it most-recently-used; else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.metrics.inc("cache.miss")
+            return None
+        self._entries.move_to_end(key)
+        self.metrics.inc("cache.hit")
+        return entry.value
+
+    def put(self, key: tuple, value: object, bytes_: int) -> None:
+        """Store a freshly-built structure and evict down to budget."""
+        if not self.enabled:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.bytes
+        self._entries[key] = _Entry(value, bytes_, key[0])
+        self._bytes += bytes_
+        self._stores += 1
+        self.metrics.inc("cache.store")
+        self._evict_to_budget()
+
+    def invalidate_relation(self, relation: Relation) -> int:
+        """Drop every entry built from ``relation``'s storage, any version.
+
+        Fingerprint mismatches already keep stale entries from being
+        *served*; this additionally releases their memory eagerly (used
+        by :meth:`Session.invalidate`).  Returns the number dropped.
+        """
+        storage_id = id(relation.rows)
+        doomed = [key for key, entry in self._entries.items()
+                  if entry.fingerprint[0] == storage_id]
+        for key in doomed:
+            self._drop(key)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counters keep their history)."""
+        while self._entries:
+            self._drop(next(iter(self._entries)))
+
+    # ------------------------------------------------------------------
+    def _drop(self, key: tuple) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.bytes
+        self._evictions += 1
+        self.metrics.inc("cache.evict")
+
+    def _evict_to_budget(self) -> None:
+        while self._entries and (
+            self._bytes > self.max_bytes
+            or (self.max_entries is not None
+                and len(self._entries) > self.max_entries)
+        ):
+            # LRU: the OrderedDict's head is the coldest entry
+            self._drop(next(iter(self._entries)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.metrics.get("cache.hit"),
+            misses=self.metrics.get("cache.miss"),
+            stores=self._stores,
+            evictions=self._evictions,
+            entries=len(self._entries),
+            bytes_=self._bytes,
+        )

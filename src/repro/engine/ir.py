@@ -1,0 +1,131 @@
+"""The join-plan IR — one representation for every execution strategy.
+
+The seed executor hand-dispatched five drivers from a monolithic
+``join()`` with per-algorithm special cases; following Free Join (Wang et
+al.) and the unified binary/WCOJ architecture of Kaboli et al., the
+engine instead compiles every query — binary pipeline, Generic Join
+(tuple or batch), Hash-Trie Join, Leapfrog Triejoin, recursive NPRR —
+into the same two artifacts:
+
+* :class:`JoinPlan` — the *logical+physical* decision record: resolved
+  algorithm and engine, total attribute order (or binary atom order),
+  one :class:`IndexSpec` per supporting structure, optimizer rationale.
+* :class:`BoundQuery` — the query text resolved against a relation
+  source (the **bind** stage's output), carried separately so one plan
+  can be validated without data and prepared against data.
+
+Both are inert data: no index is built and nothing executes until the
+**prepare** stage (:mod:`repro.engine.pipeline`) turns specs into built
+structures — which is exactly the seam the session-scoped index cache
+(:mod:`repro.engine.cache`) slots into, because an :class:`IndexSpec`
+plus a relation fingerprint *is* a cache key.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.planner.optimizer import PlanChoice
+from repro.planner.query import JoinQuery
+from repro.storage.relation import Relation
+
+#: structure kinds that are not index-registry entries but still cacheable
+HASHTABLE_KIND = "hashtable"     # binary pipeline stage table
+TUPLESET_KIND = "tupleset"       # recursive NPRR frozen row set
+
+
+def canonical_options(options: "Mapping[str, object] | None",
+                      ) -> tuple[tuple[str, object], ...]:
+    """Options as a sorted, hashable tuple — the cache-key form."""
+    if not options:
+        return ()
+    return tuple(sorted(options.items()))
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """One supporting structure a plan needs, described but not built.
+
+    ``permutation`` maps storage column positions into structure-level
+    positions (the §2.3.1 attribute permutation); together with the
+    relation's fingerprint, ``(kind, permutation, options)`` identifies a
+    reusable structure — two atoms over the same stored relation with the
+    same permutation share one build, which is how self-join aliases end
+    up reusing a single cached index.
+
+    ``key_arity`` is only meaningful for ``kind="hashtable"`` (binary
+    pipeline stages): the first ``key_arity`` entries of
+    ``attribute_order`` are the probe key, the rest the payload.
+    """
+
+    alias: str
+    kind: str
+    attribute_order: tuple[str, ...]
+    permutation: tuple[int, ...]
+    options: tuple[tuple[str, object], ...] = ()
+    key_arity: "int | None" = None
+
+    def cache_key_suffix(self) -> tuple:
+        """The relation-independent part of this spec's cache key."""
+        return (self.kind, self.permutation, self.options, self.key_arity)
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The compiled plan: everything execution needs except built indexes.
+
+    ``algorithm`` is always resolved (never ``"auto"``); ``engine`` is
+    only meaningful for the generic algorithm and is likewise resolved
+    (``"tuple"`` or ``"batch"``).  ``total_order`` is empty for the
+    binary pipeline, whose order lives in ``atom_order`` instead.
+    ``choice`` carries the hybrid optimizer's rationale when it ran
+    (``algorithm="auto"`` or a profiled run).
+    """
+
+    query: JoinQuery
+    algorithm: str
+    engine: str = ""
+    index: str = ""
+    total_order: tuple[str, ...] = ()
+    atom_order: tuple[str, ...] = ()
+    index_specs: tuple[IndexSpec, ...] = ()
+    dynamic_seed: bool = True
+    choice: "PlanChoice | None" = None
+
+    def spec_for(self, alias: str) -> IndexSpec:
+        """The :class:`IndexSpec` prepared for atom ``alias``."""
+        for spec in self.index_specs:
+            if spec.alias == alias:
+                return spec
+        raise KeyError(f"no index spec for alias {alias!r} in plan")
+
+    def describe(self) -> str:
+        """One-line plan summary (CLI / EXPLAIN output)."""
+        head = f"{self.algorithm}"
+        if self.engine:
+            head += f"/{self.engine}"
+        if self.index:
+            head += f" index={self.index}"
+        if self.total_order:
+            head += f" order={','.join(self.total_order)}"
+        if self.atom_order:
+            head += f" atoms={','.join(self.atom_order)}"
+        return head
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """The bind stage's output: a query resolved against relations.
+
+    ``relations`` maps each atom alias to a zero-copy
+    :meth:`~repro.storage.relation.Relation.renamed` view whose schema
+    carries the atom's query attributes.  A view shares its backing rows
+    and version counter with the stored relation, so
+    :meth:`~repro.storage.relation.Relation.fingerprint` on the view is
+    the stored relation's cache identity — the bind output is all the
+    prepare stage needs to key the index cache.
+    """
+
+    query: JoinQuery
+    relations: dict[str, Relation] = field(default_factory=dict)

@@ -1,0 +1,149 @@
+"""The session facade: one relation source, one index cache, many joins.
+
+The ROADMAP's serving scenario is heavy repeated query traffic over
+slowly-changing relations — exactly the workload where the paper's
+per-run ad-hoc index build (§5.15) turns into the dominant wasted cost.
+A :class:`Session` binds a relation source (a
+:class:`~repro.storage.catalog.Catalog` or a plain mapping) to a
+session-scoped :class:`~repro.engine.cache.IndexCache` and a shared
+:class:`~repro.obs.metrics.Metrics` registry, then runs every query
+through the staged pipeline (:mod:`repro.engine.pipeline`):
+
+>>> from repro import Relation, Session
+>>> edges = Relation("E", ("src", "dst"), [(0, 1), (1, 2), (2, 0)])
+>>> session = Session({"E1": edges, "E2": edges, "E3": edges})
+>>> prepared = session.prepare("E1=E(a,b), E2=E(b,c), E3=E(c,a)")
+>>> prepared.execute().count, prepared.execute().count
+(3, 3)
+>>> session.cache_stats().hits  # E2 reused E1's build (same permutation)
+1
+>>> session.cache_stats().entries  # (a,b) and the flipped (c,a) layout
+2
+
+Cache coherence is by *fingerprint*, not invalidation hooks: mutating a
+relation (:meth:`~repro.storage.relation.Relation.insert` /
+:meth:`~repro.storage.relation.Relation.extend`) bumps its shared
+version counter, so the next prepare misses the stale entries and
+rebuilds — :meth:`Session.execute` therefore always sees current data,
+while an already-:meth:`~Session.prepare`-d join keeps its snapshot
+until re-prepared.  :meth:`invalidate` additionally releases stale
+entries' memory eagerly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.envflag import resolve_flag
+from repro.engine.cache import DEFAULT_CACHE_BYTES, CacheStats, IndexCache
+from repro.engine.pipeline import bind, plan, prepare
+from repro.engine.prepared import PreparedJoin
+from repro.joins.results import JoinResult
+from repro.obs.metrics import Metrics
+from repro.obs.observer import JoinObserver, NULL_OBSERVER
+from repro.planner.query import JoinQuery
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+
+class Session:
+    """A query session over one relation source, with index reuse."""
+
+    def __init__(self, source: "Catalog | Mapping[str, Relation]",
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 cache_entries: "int | None" = None,
+                 metrics: "Metrics | None" = None):
+        self.source = source
+        #: session-wide counter registry; the cache reports into it, and
+        #: callers can pass it to an observer for unified accounting
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.cache = IndexCache(max_bytes=cache_bytes,
+                                max_entries=cache_entries,
+                                metrics=self.metrics)
+
+    # ------------------------------------------------------------------
+    def prepare(self, query: "JoinQuery | str",
+                algorithm: str = "generic",
+                index: str = "sonic",
+                order: "Sequence[str] | None" = None,
+                dynamic_seed: bool = True,
+                binary_order: "Sequence[str] | None" = None,
+                engine: str = "tuple",
+                debug: "bool | None" = None,
+                profile: "bool | None" = None,
+                obs=None,
+                **index_kwargs) -> PreparedJoin:
+        """Compile a query down to a :class:`PreparedJoin` (warm path).
+
+        Parameters mirror :func:`repro.joins.join`; the difference is
+        the return value (executable many times) and the build route —
+        every index spec goes through the session cache, so repeated
+        prepares over unchanged relations skip the build entirely.
+        """
+        if obs is not None:
+            observer = obs
+        elif resolve_flag(profile, "REPRO_PROFILE"):
+            observer = JoinObserver()
+        else:
+            observer = NULL_OBSERVER
+        bound = bind(query, self.source, debug=debug, obs=observer)
+        join_plan = plan(bound, algorithm=algorithm, index=index, order=order,
+                         binary_order=binary_order, engine=engine,
+                         dynamic_seed=dynamic_seed, debug=debug, obs=observer,
+                         index_kwargs=index_kwargs)
+        return prepare(bound, join_plan, cache=self.cache, obs=observer)
+
+    def execute(self, query: "JoinQuery | str",
+                materialize: bool = False,
+                trace_out: "str | None" = None,
+                **kwargs) -> JoinResult:
+        """Prepare-and-run in one call, always against current data.
+
+        Re-prepares on every call — cheap when the cache is warm, and
+        the fingerprint keying makes mutations visible immediately
+        (unlike holding on to a :class:`PreparedJoin`, which pins its
+        prepare-time snapshot).
+        """
+        prepared = self.prepare(query, **kwargs)
+        return prepared.execute(materialize=materialize,
+                                trace_out=trace_out)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats:
+        """Point-in-time cache accounting (hits/misses/evictions/bytes)."""
+        return self.cache.stats()
+
+    def invalidate(self, relation: "Relation | str") -> int:
+        """Eagerly drop cache entries built from ``relation``.
+
+        Accepts a relation or a name resolved against the session
+        source.  Purely a memory-release aid — stale entries already
+        stop matching once the relation's version moves on.  Returns
+        the number of entries dropped.
+        """
+        if isinstance(relation, str):
+            if isinstance(self.source, Catalog):
+                relation = self.source.get(relation)
+            else:
+                relation = self.source[relation]
+        return self.cache.invalidate_relation(relation)
+
+    def clear_cache(self) -> None:
+        """Drop every cached structure (counters keep their history)."""
+        self.cache.clear()
+
+    def close(self) -> None:
+        """Release cached structures; the session stays usable but cold."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        stats = self.cache.stats()
+        return (f"Session(entries={stats.entries}, bytes={stats.bytes}, "
+                f"hits={stats.hits}, misses={stats.misses})")

@@ -26,12 +26,70 @@ from repro.planner.query import JoinQuery
 from repro.storage.relation import Relation
 
 
+def plan_pipeline(query: JoinQuery, relations: dict[str, Relation],
+                  order: Sequence[str]) -> tuple[list[dict], tuple[str, ...]]:
+    """Stage descriptors for a pinned atom order (no tables built yet).
+
+    Each descriptor carries the stage's alias, its key/payload attribute
+    split under the attributes bound so far, and the corresponding column
+    positions in the stage relation's schema — everything a hash-table
+    build (or an index-cache key) needs.  Returns ``(stages,
+    output_attrs)``; the leading atom contributes no stage.
+    """
+    bound = list(query.attributes_of(order[0]))
+    bound_set = set(bound)
+    stages: list[dict] = []
+    for alias in order[1:]:
+        attrs = query.attributes_of(alias)
+        key_attrs = tuple(a for a in attrs if a in bound_set)
+        payload_attrs = tuple(a for a in attrs if a not in bound_set)
+        relation = relations[alias]
+        positions = relation.schema.project_positions(attrs)
+        stages.append({
+            "alias": alias,
+            "key_attrs": key_attrs,
+            "payload_attrs": payload_attrs,
+            "key_positions": tuple(positions[attrs.index(a)]
+                                   for a in key_attrs),
+            "payload_positions": tuple(positions[attrs.index(a)]
+                                       for a in payload_attrs),
+        })
+        for attribute in payload_attrs:
+            bound.append(attribute)
+            bound_set.add(attribute)
+    return stages, tuple(bound)
+
+
+def build_stage_table(relation: Relation, key_positions: Sequence[int],
+                      payload_positions: Sequence[int],
+                      ) -> dict[tuple, list[tuple]]:
+    """One stage's hash table: key columns → list of payload projections.
+
+    Standalone so the engine's prepare stage can build (and the session
+    cache can reuse) a stage table outside any driver instance.
+    """
+    table: dict[tuple, list[tuple]] = {}
+    for row in relation:
+        key = tuple(row[p] for p in key_positions)
+        table.setdefault(key, []).append(
+            tuple(row[p] for p in payload_positions))
+    return table
+
+
 class BinaryHashJoin:
-    """Left-deep pipeline of hash joins over a query."""
+    """Left-deep pipeline of hash joins over a query.
+
+    ``prebuilt`` (the engine's prepared path) is ``(stages,
+    output_attrs)`` where every stage descriptor already carries its
+    ``"table"``; the driver then skips the build phase entirely and
+    ``metrics.build_seconds`` stays zero — the prepare stage owns the
+    build accounting.
+    """
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
                  order: Sequence[str] | None = None,
-                 stats: Statistics | None = None, obs=None):
+                 stats: Statistics | None = None, obs=None,
+                 prebuilt: "tuple[list[dict], tuple[str, ...]] | None" = None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -51,6 +109,9 @@ class BinaryHashJoin:
         self._built = False
         self._output_attrs: tuple[str, ...] = ()
         self.obs = obs if obs is not None else NULL_OBSERVER
+        if prebuilt is not None:
+            self._plan, self._output_attrs = prebuilt
+            self._built = True
 
     # ------------------------------------------------------------------
     # Build phase: one hash table per non-leading atom
@@ -60,37 +121,19 @@ class BinaryHashJoin:
             return
         self._built = True
         watch = Stopwatch()
-        bound = list(self.query.attributes_of(self.order[0]))
-        bound_set = set(bound)
-        self._plan = []
         obs = self.obs
-        for alias in self.order[1:]:
+        stages, self._output_attrs = plan_pipeline(self.query, self.relations,
+                                                   self.order)
+        self._plan = stages
+        for stage in stages:
             if obs.enabled:
                 table_t0 = Stopwatch.now_ns()
-            attrs = self.query.attributes_of(alias)
-            key_attrs = tuple(a for a in attrs if a in bound_set)
-            payload_attrs = tuple(a for a in attrs if a not in bound_set)
-            relation = self.relations[alias]
-            positions = relation.schema.project_positions(attrs)
-            key_positions = [positions[attrs.index(a)] for a in key_attrs]
-            payload_positions = [positions[attrs.index(a)] for a in payload_attrs]
-            table: dict[tuple, list[tuple]] = {}
-            for row in relation:
-                key = tuple(row[p] for p in key_positions)
-                table.setdefault(key, []).append(
-                    tuple(row[p] for p in payload_positions))
-            self._plan.append({
-                "alias": alias,
-                "key_attrs": key_attrs,
-                "payload_attrs": payload_attrs,
-                "table": table,
-            })
+            stage["table"] = build_stage_table(
+                self.relations[stage["alias"]],
+                stage["key_positions"], stage["payload_positions"])
             if obs.enabled:
-                obs.record_build(alias, Stopwatch.now_ns() - table_t0)
-            for attribute in payload_attrs:
-                bound.append(attribute)
-                bound_set.add(attribute)
-        self._output_attrs = tuple(bound)
+                obs.record_build(stage["alias"],
+                                 Stopwatch.now_ns() - table_t0)
         self.metrics.build_seconds += watch.lap()
 
     # ------------------------------------------------------------------

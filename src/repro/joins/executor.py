@@ -2,9 +2,16 @@
 
 The C++ framework pairs relations with index adapters and instantiates a
 fully-inlined join at compile time; :func:`join` does the same wiring at
-runtime: resolve each atom's relation, derive the total order, build one
-index per atom (timed — ad-hoc index build is part of every WCOJ run,
-§5.15), and execute the chosen algorithm.
+runtime, now as a thin wrapper over the staged engine pipeline
+(:mod:`repro.engine.pipeline`): **bind** each atom to its relation,
+**plan** the algorithm/engine/total-order/index-spec decisions into a
+:class:`~repro.engine.ir.JoinPlan`, **prepare** the supporting
+structures (timed — ad-hoc index build is part of every WCOJ run,
+§5.15), and **execute**.  Each ``join()`` call is a one-shot cold
+session: no index cache, so results *and* timing semantics are
+identical to the seed's monolithic implementation.  For repeated
+queries over the same relations, use :class:`repro.engine.Session`,
+whose prepared joins skip the rebuild.
 
 >>> from repro import join, Relation, parse_query
 >>> edges = Relation("E", ("src", "dst"), [(0, 1), (1, 2), (2, 0)])
@@ -16,32 +23,27 @@ Algorithms: ``"generic"`` (Generic Join over any registered index),
 ``"binary"`` (pipelined hash joins), ``"hashtrie"`` (Umbra-style),
 ``"leapfrog"`` (LFTJ), or ``"auto"`` (the hybrid optimizer chooses
 binary vs generic, §6/[22]).
+
+This module also remains the home of the shared building blocks the
+pipeline stages (and the test suite) use directly:
+:func:`resolve_relations`, :func:`build_adapters`,
+:func:`attach_profile`, and the ``ALGORITHMS`` / ``ENGINES`` domains.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
-from repro.analysis.plancheck import check_plan
 from repro.core.adapter import IndexAdapter
 from repro.core.config import SonicConfig
-from repro.errors import ConfigurationError, QueryError
+from repro.core.envflag import resolve_flag, resolve_str
+from repro.errors import QueryError
 from repro.indexes.registry import make_index
-from repro.joins.batch import GenericJoinBatch
-from repro.joins.binary import BinaryHashJoin
-from repro.joins.generic_join import GenericJoin
-from repro.joins.hashtrie_join import HashTrieJoin
-from repro.joins.leapfrog import LeapfrogTrieJoin
-from repro.joins.recursive import RecursiveJoin
 from repro.joins.results import JoinResult, Stopwatch
 from repro.obs.observer import JoinObserver, NULL_OBSERVER
 from repro.obs.profile import build_profile
-from repro.planner.cardinality import Statistics
-from repro.planner.optimizer import HybridOptimizer
-from repro.planner.qptree import connectivity_order
 from repro.planner.query import JoinQuery, parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
@@ -56,25 +58,17 @@ ENGINES = ("tuple", "batch", "auto")
 
 def _debug_enabled(debug: "bool | None") -> bool:
     """Resolve the debug flag: explicit argument wins, else ``REPRO_DEBUG``."""
-    if debug is not None:
-        return debug
-    return os.environ.get("REPRO_DEBUG", "").strip().lower() not in (
-        "", "0", "false", "no", "off",
-    )
+    return resolve_flag(debug, "REPRO_DEBUG")
 
 
 def _profile_enabled(profile: "bool | None") -> bool:
     """Resolve the profile flag: explicit argument wins, else ``REPRO_PROFILE``."""
-    if profile is not None:
-        return profile
-    return os.environ.get("REPRO_PROFILE", "").strip().lower() not in (
-        "", "0", "false", "no", "off",
-    )
+    return resolve_flag(profile, "REPRO_PROFILE")
 
 
-def _attach_profile(query, result: JoinResult, observer, choice, order,
-                    engine: "str | None" = None,
-                    trace_out: "str | None" = None) -> JoinResult:
+def attach_profile(query, result: JoinResult, observer, choice, order,
+                   engine: "str | None" = None,
+                   trace_out: "str | None" = None) -> JoinResult:
     """Fold the observer into ``result.profile`` (enabled runs only) and
     write the Chrome trace if ``trace_out``/``REPRO_TRACE_OUT`` asks."""
     if not observer.enabled:
@@ -90,11 +84,15 @@ def _attach_profile(query, result: JoinResult, observer, choice, order,
         choice=choice,
     )
     result.profile = profile
-    out = trace_out or os.environ.get("REPRO_TRACE_OUT", "").strip()
+    out = resolve_str(trace_out, "REPRO_TRACE_OUT")
     if out:
         Path(out).write_text(
             json.dumps(profile.to_chrome_trace(), indent=2) + "\n")
     return result
+
+
+#: back-compat alias for the pre-engine private name
+_attach_profile = attach_profile
 
 
 def resolve_relations(query: JoinQuery,
@@ -107,7 +105,9 @@ def resolve_relations(query: JoinQuery,
     relation, the usual self-join case).  Each resolved relation is a
     zero-copy :meth:`~repro.storage.relation.Relation.renamed` view whose
     schema carries the atom's query attributes — the form every join
-    driver expects.
+    driver expects.  (This is the work of the engine's **bind** stage;
+    the view shares its backing rows and version counter with the stored
+    relation, so its fingerprint doubles as the cache identity.)
     """
     resolved: dict[str, Relation] = {}
     for atom in query.atoms:
@@ -201,16 +201,23 @@ def join(query: "JoinQuery | str",
     (vectorized candidate intersection,
     :class:`~repro.joins.batch.GenericJoinBatch`; every index works —
     structures without a native kernel run through the per-value
-    fallback shim), or ``"auto"`` (batch iff every adapter advertises
+    fallback shim), or ``"auto"`` (batch iff the index advertises
     ``SUPPORTS_BATCH``).  Both engines produce identical results; only
     constant factors differ.  The knob is ignored by the non-generic
     algorithms, which have no batch rendering.
 
+    ``**index_kwargs`` carries per-algorithm index options
+    (``sonic_bucket_size`` / ``sonic_overallocation`` / ``index_options``
+    for the Generic Join, ``lazy`` / ``singleton_pruning`` for
+    Hash-Trie Join).  Options the chosen algorithm cannot honor raise
+    :class:`~repro.errors.ConfigurationError` at plan time — the seed
+    silently swallowed them.
+
     ``debug`` (default: the ``REPRO_DEBUG`` environment variable) runs the
     static plan validator (:mod:`repro.analysis.plancheck`) on the
-    resolved plan before execution, raising
-    :class:`~repro.errors.PlanValidationError` instead of silently
-    executing a malformed plan.
+    resolved plan — including the RA306/RA307 IR checks — before
+    execution, raising :class:`~repro.errors.PlanValidationError`
+    instead of silently executing a malformed plan.
 
     ``profile`` (default: the ``REPRO_PROFILE`` environment variable)
     runs the join under a live :class:`~repro.obs.observer.JoinObserver`
@@ -222,85 +229,30 @@ def join(query: "JoinQuery | str",
     ``JoinObserver.disabled()`` to pin the un-instrumented path);
     ``trace_out`` (default: ``REPRO_TRACE_OUT``) additionally writes the
     span trace as Chrome ``trace_event`` JSON to that path.
+
+    Every call runs the full cold pipeline — **bind → plan →
+    prepare(no cache) → execute** — so the ad-hoc index build is part
+    of the reported timing, exactly as the paper measures (§5.15).
     """
-    if isinstance(query, str):
-        query = parse_query(query)
-    if algorithm not in ALGORITHMS:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; choose from {ENGINES}"
-        )
-    debug = _debug_enabled(debug)
+    # imported here, not at module level: the engine pipeline imports
+    # this module's shared helpers (resolve_relations, attach_profile),
+    # so the package-level dependency must stay one-directional
+    from repro.engine.pipeline import bind, plan, prepare
+
     if obs is not None:
         observer = obs
     elif _profile_enabled(profile):
         observer = JoinObserver()
     else:
         observer = NULL_OBSERVER
-    relations = resolve_relations(query, source)
-    if debug:
-        check_plan(query, relations=relations)
-
-    # the optimizer's estimate is part of every profile (estimated vs
-    # actual), so an enabled observer computes it even off the auto path
-    choice = None
-    if algorithm == "auto" or observer.enabled:
-        with observer.tracer.span("optimize"):
-            stats = Statistics.collect(relations.values())
-            choice = HybridOptimizer().choose(query, stats)
-    if algorithm == "auto":
-        algorithm = "binary" if choice.algorithm == "binary" else "generic"
-
-    if algorithm == "binary":
-        driver = BinaryHashJoin(query, relations, order=binary_order,
-                                obs=observer)
-        result = driver.run(materialize=materialize)
-        return _attach_profile(query, result, observer, choice,
-                               tuple(driver.order), trace_out=trace_out)
-
-    total = tuple(order) if order else connectivity_order(query)
-    if debug:
-        check_plan(query, order=total)
-
-    if algorithm == "hashtrie":
-        driver = HashTrieJoin(query, relations, order=total, obs=observer,
-                              **index_kwargs)
-        result = driver.run(materialize=materialize)
-        return _attach_profile(query, result, observer, choice, total,
-                               trace_out=trace_out)
-    if algorithm == "leapfrog":
-        driver = LeapfrogTrieJoin(query, relations, order=total, obs=observer)
-        result = driver.run(materialize=materialize)
-        return _attach_profile(query, result, observer, choice, total,
-                               trace_out=trace_out)
-    if algorithm == "recursive":
-        # the recursive driver has no per-level instrumentation; a
-        # profiled run still gets timings + optimizer estimates
-        driver = RecursiveJoin(query, relations, order=total)
-        result = driver.run(materialize=materialize)
-        return _attach_profile(query, result, observer, choice, total,
-                               trace_out=trace_out)
-
-    watch = Stopwatch()
-    adapters = build_adapters(query, relations, total, index=index,
-                              obs=observer, **index_kwargs)
-    build_seconds = watch.lap()
-    use_batch = engine == "batch" or (
-        engine == "auto"
-        and all(a.supports_batch for a in adapters.values())
-    )
-    driver_cls = GenericJoinBatch if use_batch else GenericJoin
-    driver = driver_cls(query, adapters, order=total, dynamic_seed=dynamic_seed,
-                        obs=observer)
-    driver.metrics.index = index
-    driver.metrics.build_seconds = build_seconds
-    result = driver.run(materialize=materialize)
-    return _attach_profile(query, result, observer, choice, total,
-                           engine="batch" if use_batch else "tuple",
-                           trace_out=trace_out)
+    bound = bind(query, source, debug=debug, obs=observer)
+    join_plan = plan(bound, algorithm=algorithm, index=index, order=order,
+                     binary_order=binary_order, engine=engine,
+                     dynamic_seed=dynamic_seed, debug=debug, obs=observer,
+                     index_kwargs=index_kwargs)
+    prepared = prepare(bound, join_plan, cache=None, obs=observer)
+    return prepared.execute(materialize=materialize, obs=observer,
+                            trace_out=trace_out)
 
 
 def triangle_count(edges: Relation, algorithm: str = "generic",

@@ -43,7 +43,8 @@ class HashTrieJoin:
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
                  order: Sequence[str] | None = None,
                  lazy: bool = True, singleton_pruning: bool = True,
-                 obs=None):
+                 obs=None,
+                 adapters: "dict[str, IndexAdapter] | None" = None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -53,8 +54,10 @@ class HashTrieJoin:
         self.lazy = lazy
         self.singleton_pruning = singleton_pruning
         self.metrics = JoinMetrics(algorithm="hashtrie_join", index="hashtrie")
-        self.adapters: dict[str, IndexAdapter] = {}
-        self._built = False
+        # ``adapters`` (the engine's prepared path) are pre-built tries:
+        # the driver skips its build phase and build_seconds stays zero
+        self.adapters: dict[str, IndexAdapter] = adapters or {}
+        self._built = adapters is not None
         # the anchor relation — the scan side under the weights=1
         # assumption — is the smallest base relation (§5.15)
         self.anchor: str = min((a.alias for a in query.atoms),

@@ -34,7 +34,8 @@ class LeapfrogTrieJoin:
     """LFTJ over sorted-array tries."""
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
-                 order: Sequence[str] | None = None, obs=None):
+                 order: Sequence[str] | None = None, obs=None,
+                 tries: "dict[str, SortedTrie] | None" = None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -42,8 +43,10 @@ class LeapfrogTrieJoin:
         self.relations = relations
         self.order: tuple[str, ...] = tuple(order) if order else connectivity_order(query)
         self.metrics = JoinMetrics(algorithm="leapfrog", index="sortedtrie")
-        self._built = False
-        self._tries: dict[str, SortedTrie] = {}
+        # pre-sorted tries (the engine's prepared path) skip the build
+        # phase; build_seconds stays zero — prepare owns that accounting
+        self._built = tries is not None
+        self._tries: dict[str, SortedTrie] = tries or {}
         # which aliases participate at each attribute depth, and at which
         # of their own depths (their attribute's rank in their own order)
         self._participants: list[list[str]] = [

@@ -74,7 +74,8 @@ class RecursiveJoin:
     """Alg. 1 over materialized relations (reference implementation)."""
 
     def __init__(self, query: JoinQuery, relations: dict[str, Relation],
-                 order: Sequence[str] | None = None):
+                 order: Sequence[str] | None = None,
+                 edges: "dict[str, frozenset] | None" = None):
         missing = [a.alias for a in query.atoms if a.alias not in relations]
         if missing:
             raise QueryError(f"no relation bound for atoms {missing}")
@@ -83,17 +84,27 @@ class RecursiveJoin:
         self._rank = {a: i for i, a in enumerate(self.order)}
         self.metrics = JoinMetrics(algorithm="recursive_join", index="hashmap")
         watch = Stopwatch()
-        self._edges = [
-            _Edge(atom.alias, atom.attributes,
-                  frozenset(relations[atom.alias].rows))
-            for atom in query.atoms
-        ]
+        prebuilt = edges is not None
+        if prebuilt:
+            # the engine's prepared path: frozen row sets already
+            # materialized (and possibly cache-shared); build_seconds
+            # stays zero — prepare owns that accounting
+            self._edges = [_Edge(atom.alias, atom.attributes,
+                                 edges[atom.alias])
+                           for atom in query.atoms]
+        else:
+            self._edges = [
+                _Edge(atom.alias, atom.attributes,
+                      frozenset(relations[atom.alias].rows))
+                for atom in query.atoms
+            ]
         hypergraph = Hypergraph.from_query(query)
         cover = fractional_cover(
             hypergraph, {alias: len(relations[alias]) for alias in relations})
         self._weights = {atom.alias: max(cover.weight(atom.alias), 1e-9)
                          for atom in query.atoms}
-        self.metrics.build_seconds += watch.lap()
+        if not prebuilt:
+            self.metrics.build_seconds += watch.lap()
 
     # ------------------------------------------------------------------
     def run(self, materialize: bool = False) -> JoinResult:

@@ -15,10 +15,20 @@ from repro.storage.relation import Relation
 
 
 class Catalog:
-    """Name → :class:`Relation` mapping with light statistics."""
+    """Name → :class:`Relation` mapping with light statistics.
+
+    The catalog keeps a per-name **version counter**, bumped every time a
+    name is re-bound (:meth:`add` with ``replace=True``, :meth:`replace`,
+    :meth:`remove`).  Together with
+    :meth:`repro.storage.relation.Relation.fingerprint` (which covers
+    in-place mutation) it gives the session layer everything needed to
+    notice that a prepared join or cached index no longer reflects the
+    catalog's state.
+    """
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
+        self._versions: dict[str, int] = {}
         for relation in relations:
             self.add(relation)
 
@@ -27,6 +37,22 @@ class Catalog:
         if relation.name in self._relations and not replace:
             raise SchemaError(f"relation {relation.name!r} already in catalog")
         self._relations[relation.name] = relation
+        self._versions[relation.name] = self._versions.get(relation.name, 0) + 1
+
+    def replace(self, relation: Relation) -> None:
+        """Re-bind ``relation.name`` to ``relation``, bumping its version."""
+        self.add(relation, replace=True)
+
+    def remove(self, name: str) -> None:
+        """Drop ``name`` from the catalog (its version keeps counting)."""
+        if name not in self._relations:
+            raise SchemaError(f"relation {name!r} not in catalog")
+        del self._relations[name]
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def version_of(self, name: str) -> int:
+        """How many times ``name`` has been (re)bound; 0 if never seen."""
+        return self._versions.get(name, 0)
 
     def get(self, name: str) -> Relation:
         try:

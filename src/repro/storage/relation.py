@@ -1,11 +1,19 @@
 """In-memory relations.
 
-A :class:`Relation` is an immutable bag of equal-arity tuples with a
+A :class:`Relation` is a bag of equal-arity tuples with a
 :class:`~repro.storage.schema.Schema`.  Storage is row-major (a list of
 tuples) with lazily-built column views; at the scales this reproduction
 targets, row-major keeps index builds (which consume whole tuples) simple
 and fast, while the column views serve the workload generators and the
 binary-join build sides.
+
+Relations are *mostly* immutable: the only mutations are the explicit
+append-style methods :meth:`Relation.insert` and :meth:`Relation.extend`,
+which bump a **version counter** shared by every
+:meth:`~Relation.renamed` view of the same storage.  ``(storage identity,
+version)`` — :meth:`Relation.fingerprint` — is the cache key component
+the session-scoped index cache (:mod:`repro.engine.cache`) uses to
+detect that a cached index no longer reflects the relation.
 
 Relations are the unit every join algorithm in :mod:`repro.joins` consumes;
 the ``Relation`` here plays the role of the paper's ``Relation<IndexAdapter,
@@ -39,9 +47,9 @@ def _column_array(values: list) -> np.ndarray:
 
 
 class Relation:
-    """An immutable, named collection of tuples over a schema."""
+    """A named collection of tuples over a schema (append-only mutation)."""
 
-    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays")
+    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays", "_version")
 
     def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[tuple]):
         if not isinstance(schema, Schema):
@@ -59,8 +67,12 @@ class Relation:
                 )
             stored.append(row)
         self._rows = stored
-        self._columns: dict[int, list] | None = None
+        # column/array caches and the version counter are *shared objects*
+        # across renamed views (positions align), so a mutation through any
+        # view invalidates every view's caches and fingerprint at once
+        self._columns: dict[int, list] = {}
         self._arrays: dict[int, np.ndarray] = {}
+        self._version: list[int] = [0]
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -92,8 +104,6 @@ class Relation:
     def column(self, attribute: str) -> list:
         """All values of ``attribute``, in row order (lazily materialized)."""
         position = self.schema.position(attribute)
-        if self._columns is None:
-            self._columns = {}
         if position not in self._columns:
             self._columns[position] = [row[position] for row in self._rows]
         return self._columns[position]
@@ -119,6 +129,56 @@ class Relation:
             array = _column_array([row[position] for row in self._rows])
             self._arrays[position] = array
         return array
+
+    # ------------------------------------------------------------------
+    # Mutation and cache identity
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter, shared with every renamed view of this storage."""
+        return self._version[0]
+
+    def fingerprint(self) -> tuple[int, int]:
+        """``(storage identity, version)`` — the index-cache key component.
+
+        Two relations share a fingerprint iff they share backing rows
+        *and* no mutation happened in between; any :meth:`insert` /
+        :meth:`extend` through any view changes it.  The identity half is
+        ``id()`` of the shared row list, which is stable for the life of
+        the relation — cache entries keep the built index (and through it
+        the relation) alive, so a fingerprint can never be recycled while
+        an entry still carries it.
+        """
+        return (id(self._rows), self._version[0])
+
+    def insert(self, row: tuple) -> None:
+        """Append one tuple, bumping the shared version counter."""
+        self.extend((row,))
+
+    def extend(self, rows: Iterable[tuple]) -> None:
+        """Append tuples, invalidating column caches and the fingerprint.
+
+        The column/array caches and version counter are shared with every
+        renamed view, so all views observe the mutation consistently; any
+        session-cached index keyed on the old fingerprint simply stops
+        matching and ages out of the cache.
+        """
+        arity = self.arity
+        appended = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: tuple {row!r} has arity "
+                    f"{len(row)}, schema expects {arity}"
+                )
+            appended.append(row)
+        if not appended:
+            return
+        self._rows.extend(appended)
+        self._columns.clear()
+        self._arrays.clear()
+        self._version[0] += 1
 
     # ------------------------------------------------------------------
     # Relational operations used by the join drivers and generators
@@ -166,8 +226,10 @@ class Relation:
         view.name = name or self.name
         view.schema = Schema(attributes)
         view._rows = self._rows
-        view._columns = None
-        view._arrays = self._arrays   # positions align, so arrays are shared
+        # positions align, so the caches and version box are shared
+        view._columns = self._columns
+        view._arrays = self._arrays
+        view._version = self._version
         return view
 
     def distinct(self, name: str | None = None) -> "Relation":

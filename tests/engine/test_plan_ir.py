@@ -1,0 +1,198 @@
+"""The plan IR: spec construction, RA306/RA307 validation, option policing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.plancheck import check_join_plan, validate_join_plan
+from repro.engine import (
+    HASHTABLE_KIND,
+    TUPLESET_KIND,
+    IndexSpec,
+    JoinPlan,
+    bind,
+    canonical_options,
+    plan,
+)
+from repro.errors import ConfigurationError, PlanValidationError
+from repro.joins import join
+from repro.storage.relation import Relation
+
+TRIANGLE = "E1=E(a,b), E2=E(b,c), E3=E(c,a)"
+
+
+@pytest.fixture
+def tables() -> dict[str, Relation]:
+    edges = Relation("E", ("src", "dst"), [(0, 1), (1, 2), (2, 0)])
+    return {"E1": edges, "E2": edges, "E3": edges}
+
+
+@pytest.fixture
+def bound(tables):
+    return bind(TRIANGLE, tables)
+
+
+class TestPlanConstruction:
+    def test_generic_plan_fields(self, bound):
+        compiled = plan(bound, algorithm="generic", index="sonic")
+        assert compiled.algorithm == "generic"
+        assert compiled.engine == "tuple"
+        assert compiled.index == "sonic"
+        assert compiled.total_order == ("a", "b", "c")
+        assert compiled.atom_order == ()
+        assert len(compiled.index_specs) == 3
+        spec = compiled.spec_for("E3")
+        # E3(c,a): total order puts a before c → permutation flips columns
+        assert spec.attribute_order == ("a", "c")
+        assert spec.permutation == (1, 0)
+        assert dict(spec.options)["bucket_size"] == 8
+
+    def test_engine_auto_resolves_at_plan_time(self, bound):
+        assert plan(bound, engine="auto", index="sonic").engine == "batch"
+        assert plan(bound, engine="auto", index="btree").engine == "tuple"
+
+    def test_auto_algorithm_is_resolved_and_carries_choice(self, bound):
+        compiled = plan(bound, algorithm="auto")
+        assert compiled.algorithm in ("generic", "binary")
+        assert compiled.choice is not None
+
+    def test_binary_plan_uses_atom_order_and_hashtables(self, bound):
+        compiled = plan(bound, algorithm="binary",
+                        binary_order=["E1", "E2", "E3"])
+        assert compiled.atom_order == ("E1", "E2", "E3")
+        assert compiled.total_order == ()
+        assert {s.alias for s in compiled.index_specs} == {"E2", "E3"}
+        stage = compiled.spec_for("E2")
+        assert stage.kind == HASHTABLE_KIND
+        assert stage.key_arity == 1  # probes on b, payload c
+
+    def test_recursive_plan_uses_tuplesets(self, bound):
+        compiled = plan(bound, algorithm="recursive")
+        assert all(s.kind == TUPLESET_KIND for s in compiled.index_specs)
+
+    def test_leapfrog_specs_request_presorting(self, bound):
+        compiled = plan(bound, algorithm="leapfrog")
+        assert all(dict(s.options)["sorted"] for s in compiled.index_specs)
+
+    def test_plan_is_inert_and_frozen(self, bound):
+        compiled = plan(bound)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            compiled.algorithm = "binary"
+        with pytest.raises(KeyError):
+            compiled.spec_for("nope")
+
+    def test_describe_summarizes(self, bound):
+        text = plan(bound, engine="batch").describe()
+        assert "generic/batch" in text and "order=a,b,c" in text
+
+    def test_cache_key_suffix_distinguishes_options(self, bound):
+        a = plan(bound, index_kwargs={"sonic_bucket_size": 8}).spec_for("E1")
+        b = plan(bound, index_kwargs={"sonic_bucket_size": 16}).spec_for("E1")
+        assert a.cache_key_suffix() != b.cache_key_suffix()
+        assert canonical_options({"x": 1, "a": 2}) == (("a", 2), ("x", 1))
+
+
+class TestOptionPolicing:
+    """Satellite: index options the algorithm cannot honor must raise."""
+
+    @pytest.mark.parametrize("algorithm", ["binary", "leapfrog", "recursive"])
+    def test_index_kwargs_rejected(self, tables, algorithm):
+        with pytest.raises(ConfigurationError, match="cannot honor"):
+            join(TRIANGLE, tables, algorithm=algorithm, sonic_bucket_size=4)
+
+    def test_hashtrie_rejects_foreign_options(self, tables):
+        with pytest.raises(ConfigurationError, match="cannot honor"):
+            join(TRIANGLE, tables, algorithm="hashtrie", sonic_bucket_size=4)
+        # its own knobs still work
+        assert join(TRIANGLE, tables, algorithm="hashtrie", lazy=False,
+                    singleton_pruning=False).count == 3
+
+    def test_generic_rejects_unknown_options(self, tables):
+        with pytest.raises(ConfigurationError, match="cannot honor"):
+            join(TRIANGLE, tables, algorithm="generic", bucket_size=4)
+
+    def test_sonic_options_need_the_sonic_index(self, tables):
+        with pytest.raises(ConfigurationError, match="sonic"):
+            join(TRIANGLE, tables, algorithm="generic", index="btree",
+                 sonic_bucket_size=4)
+
+    def test_sonic_options_accepted_on_sonic(self, tables):
+        assert join(TRIANGLE, tables, sonic_bucket_size=4,
+                    sonic_overallocation=3.0).count == 3
+
+    def test_unknown_algorithm_and_engine_messages(self, tables):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            join(TRIANGLE, tables, algorithm="nested-loop")
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            join(TRIANGLE, tables, engine="vectorized")
+
+
+class TestPlanValidation:
+    """RA306/RA307 over hand-corrupted plans."""
+
+    def test_sound_plans_pass(self, bound):
+        for algorithm in ("generic", "binary", "hashtrie", "leapfrog",
+                          "recursive"):
+            compiled = plan(bound, algorithm=algorithm)
+            assert validate_join_plan(
+                compiled, relations=bound.relations) == []
+
+    def test_ra307_unresolved_algorithm(self, bound):
+        compiled = dataclasses.replace(plan(bound), algorithm="auto")
+        codes = [i.code for i in validate_join_plan(compiled)]
+        assert "RA307" in codes
+
+    def test_ra307_unknown_engine(self, bound):
+        compiled = dataclasses.replace(plan(bound), engine="vectorized")
+        with pytest.raises(PlanValidationError, match="RA307"):
+            check_join_plan(compiled)
+
+    def test_ra306_bad_permutation(self, bound):
+        compiled = plan(bound)
+        bad = dataclasses.replace(compiled.index_specs[0],
+                                  permutation=(0, 2))
+        compiled = dataclasses.replace(
+            compiled, index_specs=(bad,) + compiled.index_specs[1:])
+        codes = [i.code for i in validate_join_plan(compiled)]
+        assert "RA306" in codes
+
+    def test_ra306_missing_spec(self, bound):
+        compiled = plan(bound)
+        compiled = dataclasses.replace(compiled,
+                                       index_specs=compiled.index_specs[:2])
+        with pytest.raises(PlanValidationError, match="RA306"):
+            check_join_plan(compiled)
+
+    def test_ra306_hashtable_without_key_split(self, bound):
+        compiled = plan(bound, algorithm="binary",
+                        binary_order=["E1", "E2", "E3"])
+        bad = dataclasses.replace(compiled.index_specs[0], key_arity=None)
+        compiled = dataclasses.replace(
+            compiled, index_specs=(bad,) + compiled.index_specs[1:])
+        codes = [i.code for i in validate_join_plan(compiled)]
+        assert "RA306" in codes
+
+    def test_ra306_foreign_alias(self, bound):
+        compiled = plan(bound)
+        stray = IndexSpec(alias="Z", kind="sonic",
+                          attribute_order=("a", "b"), permutation=(0, 1))
+        compiled = dataclasses.replace(
+            compiled, index_specs=compiled.index_specs + (stray,))
+        codes = [i.code for i in validate_join_plan(compiled)]
+        assert "RA306" in codes
+
+    def test_debug_join_runs_ir_checks(self, tables):
+        # the debug path reaches check_join_plan without raising on a
+        # well-formed query end to end
+        assert join(TRIANGLE, tables, debug=True).count == 3
+
+
+class TestJoinPlanDataclass:
+    def test_plans_hash_and_compare_by_value(self, bound):
+        a = plan(bound, algorithm="leapfrog")
+        b = plan(bound, algorithm="leapfrog")
+        assert a == b
+        assert a is not b
+        assert hash(a.index_specs[0]) == hash(b.index_specs[0])
