@@ -31,7 +31,8 @@ def prepared(name, length):
     if name not in _INDEX_CACHE:
         index = make_sized_index(name, COLUMNS, len(rows))
         index.build(rows)
-        _INDEX_CACHE[name] = index
+        # single-threaded pytest-benchmark harness: memo, not shared state
+        _INDEX_CACHE[name] = index  # repro: noqa[RA701]
     relation = Relation("bench", tuple(f"c{i}" for i in range(COLUMNS)), rows)
     probes = prefix_workload(relation, PROBES, prefix_length=length, seed=88)
     return _INDEX_CACHE[name], probes

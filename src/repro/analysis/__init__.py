@@ -51,6 +51,7 @@ from repro.analysis.reporters import (
 
 import repro.analysis.rules  # noqa: F401  (importing registers RA101–RA105)
 import repro.analysis.rules_dataflow  # noqa: F401  (registers RA401–RA504)
+import repro.analysis.rules_concurrency  # noqa: F401  (registers RA701–RA708)
 
 __all__ = [
     "Finding",

@@ -18,6 +18,7 @@ Examples::
     python -m repro.analysis --rule RA401 src     # a single rule
     python -m repro.analysis --baseline analysis-baseline.json
     python -m repro.analysis --changed-only       # fast pre-commit loop
+    python -m repro.analysis --concurrency-manifest manifest.json
     python -m repro.analysis --list-rules
 """
 
@@ -94,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--concurrency-manifest", nargs="?", const="-", metavar="FILE",
+        help="emit the thread-safety manifest (JSON) to FILE (default "
+             "stdout) and exit; non-zero when a require_safe entry point "
+             "is not classified thread-safe",
+    )
     return parser
 
 
@@ -122,6 +129,35 @@ def _contract_findings(selected: "Sequence[str] | None") -> list[Finding]:
     return findings
 
 
+def _emit_manifest(destination: str) -> int:
+    """Write the thread-safety manifest; gate on require_safe entries."""
+    import json
+
+    from repro.analysis.concurrency.manifest import (
+        build_manifest,
+        failing_entries,
+        validate_manifest,
+    )
+
+    data = build_manifest()
+    problems = validate_manifest(data)
+    if problems:  # pragma: no cover - guards manifest generator bugs
+        for problem in problems:
+            print(f"manifest invalid: {problem}", file=sys.stderr)
+        return 2
+    text = json.dumps(data, indent=2) + "\n"
+    if destination == "-":
+        print(text, end="")
+    else:
+        Path(destination).write_text(text, encoding="utf-8")
+    failures = failing_entries(data)
+    for entry in failures:
+        print(f"{entry['path']}: {entry['qualname']} classified "
+              f"{entry['classification']!r} but is required thread-safe",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
@@ -134,6 +170,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         print("RA2xx [error]  index contract checks (repro.analysis.contracts)")
         print("RA3xx [error]  plan validation (repro.analysis.plancheck)")
         return 0
+
+    if options.concurrency_manifest is not None:
+        return _emit_manifest(options.concurrency_manifest)
 
     try:
         rules = select_rules(options.rules)

@@ -1,0 +1,120 @@
+"""Check-then-act dict races (RA708).
+
+The idiom::
+
+    if key in cache:          # check
+        return cache[key]     # act — key may be gone by now
+
+(or its dual, ``if key not in cache: cache[key] = build()``) is only
+correct when nothing can mutate ``cache`` between the check and the
+act.  In a module that imports :mod:`threading` that assumption is
+exactly what the module itself put in question, so the rule fires on
+any membership-tested container whose *same key* is indexed, stored,
+deleted or ``pop``'d inside the guarded branch — unless the whole
+``if`` sits under a held lock.
+
+The sanctioned replacements (both invisible to this rule):
+
+* ``value = cache.get(key)`` then test ``value is None`` — one atomic
+  lookup instead of two;
+* take the owning lock around the check *and* the act.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import expr_key
+from repro.analysis.concurrency.model import ModuleModel, canonical_lock
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _membership(test: ast.AST):
+    """``(key node, container key)`` when the test is ``k [not] in d``."""
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.In, ast.NotIn)):
+            continue
+        container = expr_key(node.comparators[0])
+        if container is not None:
+            return node.left, container
+    return None, None
+
+
+def _acts_in(stmts, key_dump: str, container: "tuple[str, ...]"):
+    """Subscript/pop uses of ``container[key]`` inside the branch."""
+    acts = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, _FUNCS + (ast.Lambda,)):
+                continue
+            if isinstance(node, ast.Subscript):
+                if expr_key(node.value) == container \
+                        and ast.dump(node.slice) == key_dump:
+                    acts.append(node)
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in ("pop", "__getitem__", "setdefault")
+                  and expr_key(node.func.value) == container
+                  and node.args
+                  and ast.dump(node.args[0]) == key_dump):
+                acts.append(node)
+    return acts
+
+
+def scan_check_then_act(model: ModuleModel):
+    """RA708: ``(if-node, container, act-count)`` races in threading users."""
+    if not model.imports_threading:
+        return []
+    out = []
+
+    def visit_func(func, cls):
+        held: list[str] = []
+
+        def walk(stmts):
+            for stmt in stmts:
+                visit(stmt)
+
+        def visit(stmt):
+            if isinstance(stmt, _FUNCS + (ast.ClassDef,)):
+                return
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                pushed = 0
+                for item in stmt.items:
+                    lock = canonical_lock(item.context_expr, cls, model)
+                    if lock is not None:
+                        held.append(lock)
+                        pushed += 1
+                walk(stmt.body)
+                for _ in range(pushed):
+                    held.pop()
+                return
+            if isinstance(stmt, ast.If) and not held:
+                key_node, container = _membership(stmt.test)
+                if key_node is not None:
+                    acts = _acts_in(stmt.body, ast.dump(key_node), container)
+                    if acts:
+                        out.append((stmt, ".".join(container), len(acts)))
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    walk(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                walk(case.body)
+
+        walk(getattr(func, "body", []))
+
+    for node in ast.walk(model.tree):
+        if isinstance(node, _FUNCS):
+            cls = None
+            # method? find the enclosing annotated class for lock context
+            for candidate in model.classes.values():
+                if node in candidate.methods.values():
+                    cls = candidate
+                    break
+            visit_func(node, cls)
+    return out

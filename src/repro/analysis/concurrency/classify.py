@@ -1,0 +1,120 @@
+"""Entry-point thread-safety classification (RA706).
+
+A public method of a class that opted into the concurrency contract
+(it carries at least one ``# repro: shared[…]`` annotation) is
+classified by taint-propagating its write effects, transitively through
+same-class ``self.…()`` calls:
+
+* ``reentrant`` — every write to instance/global state it can reach is
+  performed under a held lock (or there are no such writes): any number
+  of threads may call it concurrently on one shared instance.
+* ``borrows-caller-lock`` — the method is annotated
+  ``# repro: borrows-lock[X]``: it is safe *given* the caller holds
+  ``X``; concurrent use without the lock is the caller's bug (RA707
+  polices the call sites).
+* ``unsafe`` — some reachable write to shared state happens outside any
+  lock; concurrent callers can corrupt the instance.
+
+Only annotated classes are classified — classification of a class that
+never declared shared state would drown the report in single-threaded
+builders (e.g. index ``insert`` paths, which are pre-publication by
+contract RA404 already enforces).  The thread-safety manifest
+(:mod:`repro.analysis.concurrency.manifest`) adds the cross-file entry
+points on top of this per-module machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.concurrency.model import (
+    ClassModel,
+    ModuleModel,
+    function_locals,
+    iter_writes,
+)
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: how deep self-call chains are followed (cycles are cut regardless)
+MAX_DEPTH = 6
+
+REENTRANT = "reentrant"
+BORROWS = "borrows-caller-lock"
+UNSAFE = "unsafe"
+
+
+def shared_writes(func: ast.AST, cls: "ClassModel | None",
+                  model: ModuleModel):
+    """Writes in ``func`` that touch instance or module-global state.
+
+    Local-variable effects are filtered out: a store through a name the
+    function binds itself (and does not declare ``global``) is private
+    to the call frame.
+    """
+    local, declared = function_locals(func)
+    private = local - declared
+    out = []
+    for write in iter_writes(func, cls, model):
+        root = write.key[0]
+        if root == "self":
+            if len(write.key) == 1:
+                continue
+            out.append(write)
+        elif root in private:
+            continue
+        elif root in model.mutable_globals or root in declared:
+            out.append(write)
+    return out
+
+
+def classify_method(cls: ClassModel, name: str,
+                    model: ModuleModel,
+                    _stack: "frozenset | None" = None):
+    """``(classification, [unguarded Write, …])`` for one method."""
+    if name in cls.borrows:
+        return BORROWS, []
+    stack = _stack or frozenset()
+    if name in stack or len(stack) > MAX_DEPTH:
+        return REENTRANT, []
+    func = cls.methods.get(name)
+    if func is None:
+        return REENTRANT, []  # inherited/unknown: optimistic, see manifest
+    unguarded = [w for w in shared_writes(func, cls, model) if not w.held]
+    # follow same-class self-calls: a public method is only as safe as
+    # the helpers it drives
+    for node in ast.walk(func):
+        if isinstance(node, _FUNCS + (ast.Lambda,)):
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if (isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name)
+                and f.value.id == "self" and f.attr in cls.methods
+                and f.attr != name):
+            sub_class, sub_writes = classify_method(
+                cls, f.attr, model, stack | {name})
+            if sub_class == UNSAFE:
+                unguarded.extend(sub_writes)
+            # BORROWS helpers are checked at the call site by RA707
+    if unguarded:
+        return UNSAFE, unguarded
+    return REENTRANT, []
+
+
+def public_methods(cls: ClassModel) -> "list[str]":
+    return [name for name in cls.methods
+            if not name.startswith("_") or name in ("__enter__", "__exit__")]
+
+
+def scan_entry_points(model: ModuleModel):
+    """RA706: ``(node, class, method, [writes])`` for unsafe public APIs."""
+    out = []
+    for cls in model.classes.values():
+        if not cls.annotated:
+            continue
+        for name in public_methods(cls):
+            classification, writes = classify_method(cls, name, model)
+            if classification == UNSAFE:
+                out.append((cls.methods[name], cls.name, name, writes))
+    return out

@@ -1,0 +1,380 @@
+"""Lock discipline: guarded writes, balance, ordering (RA703–RA705, RA707).
+
+* **RA703** — a write to a field designated shared must happen while the
+  designated lock is held.  Explicitly-annotated fields
+  (``# repro: shared[lock=X]``) get errors; fields *inferred* shared
+  (written under a self-owned lock in one method, written bare in
+  another) get warnings.  ``__init__`` is exempt — the object is not yet
+  published.
+* **RA704** — raw ``lock.acquire()`` / ``lock.release()`` imbalance in a
+  function, or an acquire whose release does not sit in a ``finally``
+  block (an exception would leak the lock; use ``with`` or try/finally).
+* **RA705** — lock-ordering cycles: a per-module graph with an edge
+  ``A → B`` whenever ``B`` is acquired while ``A`` is held, including
+  acquisitions reached through same-module calls; any cycle is a
+  potential deadlock.  A self-edge (re-acquiring a held lock) is the
+  degenerate one-lock deadlock.
+* **RA707** — calling a ``# repro: borrows-lock[X]`` method without
+  holding ``X``: the helper documents a caller-side obligation, and the
+  call site violates it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import expr_key
+from repro.analysis.concurrency.model import (
+    ClassModel,
+    ModuleModel,
+    canonical_lock,
+    iter_functions,
+    iter_writes,
+)
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class LockEvent:
+    """One acquisition, call or raw acquire/release under lock context."""
+
+    __slots__ = ("kind", "payload", "node", "held", "in_finally")
+
+    def __init__(self, kind: str, payload, node: ast.AST,
+                 held: "frozenset[str]", in_finally: bool):
+        self.kind = kind          # "acquire_with" | "call"
+        self.payload = payload    # lock id (str) or call key (tuple)
+        self.node = node
+        self.held = held
+        self.in_finally = in_finally
+
+
+def iter_lock_events(func: ast.AST, cls: "ClassModel | None",
+                     model: ModuleModel) -> "list[LockEvent]":
+    """All with-acquisitions and calls in ``func`` with held-lock context."""
+    held: list[str] = []
+    events: list[LockEvent] = []
+    if cls is not None and isinstance(func, _FUNCS):
+        borrow = cls.borrows.get(func.name)
+        if borrow is not None:
+            held.append(f"{cls.name}.{borrow}")
+
+    def scan_expr(expr: ast.AST, in_finally: bool) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                key = expr_key(node.func)
+                if key is not None:
+                    events.append(LockEvent("call", key, node,
+                                            frozenset(held), in_finally))
+
+    def walk(stmts, in_finally: bool) -> None:
+        for stmt in stmts:
+            visit(stmt, in_finally)
+
+    def visit(stmt: ast.AST, in_finally: bool) -> None:
+        if isinstance(stmt, _FUNCS + (ast.ClassDef,)):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in stmt.items:
+                scan_expr(item.context_expr, in_finally)
+                lock = canonical_lock(item.context_expr, cls, model)
+                if lock is not None:
+                    events.append(LockEvent("acquire_with", lock,
+                                            item.context_expr,
+                                            frozenset(held), in_finally))
+                    held.append(lock)
+                    pushed += 1
+            walk(stmt.body, in_finally)
+            for _ in range(pushed):
+                held.pop()
+            return
+        if isinstance(stmt, ast.Try):
+            walk(stmt.body, in_finally)
+            for handler in stmt.handlers:
+                walk(handler.body, in_finally)
+            walk(stmt.orelse, in_finally)
+            walk(stmt.finalbody, True)
+            return
+        # this statement's own expressions (each scanned exactly once)
+        for field in ("test", "iter", "value", "exc", "cause", "msg"):
+            sub = getattr(stmt, field, None)
+            if isinstance(sub, ast.AST):
+                scan_expr(sub, in_finally)
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            for target in getattr(stmt, "targets", None) or [stmt.target]:
+                scan_expr(target, in_finally)
+        for field in ("body", "orelse"):
+            sub = getattr(stmt, field, None)
+            if sub:
+                walk(sub, in_finally)
+        for case in getattr(stmt, "cases", []) or []:
+            walk(case.body, in_finally)
+
+    walk(getattr(func, "body", []), False)
+    return events
+
+
+# ----------------------------------------------------------------------
+# RA703 — designated-shared writes outside their lock
+# ----------------------------------------------------------------------
+
+def _designations(model: ModuleModel):
+    """Explicit + inferred shared-field tables.
+
+    Explicit: the annotation tables.  Inferred: a ``self`` field written
+    under one specific self-owned lock somewhere in the class — other
+    bare writes to it are then suspicious (warning-level).
+    """
+    explicit: dict[tuple[str, str], "str | None"] = {}
+    for cls in model.classes.values():
+        for attr, lock in cls.shared_fields.items():
+            explicit[(cls.name, attr)] = lock
+    inferred: dict[tuple[str, str], str] = {}
+    for cls in model.classes.values():
+        for func in cls.methods.values():
+            if func.name == "__init__":
+                continue
+            for write in iter_writes(func, cls, model):
+                key = write.key
+                if len(key) < 2 or key[0] != "self":
+                    continue
+                attr = key[1]
+                if (cls.name, attr) in explicit:
+                    continue
+                owned = [lock for lock in write.held
+                         if lock.startswith(f"{cls.name}.")]
+                if owned:
+                    inferred.setdefault((cls.name, attr), owned[0])
+    return explicit, inferred
+
+
+def scan_guarded_writes(model: ModuleModel):
+    """RA703: ``(write, class, attr, lock, explicit?)`` violations."""
+    explicit, inferred = _designations(model)
+    out = []
+    # module-level shared globals: # repro: shared[lock=G] on a global
+    for cls, func in iter_functions(model):
+        if cls is not None and func.name == "__init__":
+            continue
+        for write in iter_writes(func, cls, model):
+            key = write.key
+            if cls is not None and len(key) >= 2 and key[0] == "self":
+                attr = key[1]
+                lock = explicit.get((cls.name, attr), "missing")
+                if lock != "missing":
+                    want = (f"{cls.name}.{lock}" if lock is not None else None)
+                    if want is not None and want in write.held:
+                        continue
+                    if want is None and any(
+                            h.startswith(f"{cls.name}.") for h in write.held):
+                        continue
+                    out.append((write, cls.name, attr, lock, True))
+                    continue
+                ilock = inferred.get((cls.name, attr))
+                if ilock is not None and ilock not in write.held:
+                    out.append((write, cls.name, attr,
+                                ilock.split(".", 1)[1], False))
+            elif len(key) >= 1 and key[0] in model.shared_globals:
+                if key[0] in _method_locals(func):
+                    continue  # shadowed by a function local
+                lock = model.shared_globals[key[0]]
+                if lock is not None and lock not in write.held:
+                    out.append((write, None, key[0], lock, True))
+                elif lock is None and not write.held:
+                    out.append((write, None, key[0], None, True))
+    return out
+
+
+def _method_locals(func: ast.AST) -> set:
+    from repro.analysis.concurrency.model import function_locals
+    local, declared = function_locals(func)
+    return local - declared
+
+
+# ----------------------------------------------------------------------
+# RA704 — raw acquire/release balance
+# ----------------------------------------------------------------------
+
+_BALANCE_EXEMPT = frozenset({"__enter__", "__exit__", "acquire", "release",
+                             "_acquire", "_release"})
+
+
+def _lockish(key: "tuple[str, ...]", cls: "ClassModel | None",
+             model: ModuleModel) -> bool:
+    if len(key) == 1:
+        return key[0] in model.lock_globals or "lock" in key[0].lower()
+    if key[0] == "self" and cls is not None and key[1] in cls.lock_attrs:
+        return True
+    return "lock" in key[-1].lower()
+
+
+def scan_acquire_release(model: ModuleModel):
+    """RA704: ``(node, message)`` for unbalanced / unprotected raw usage."""
+    out = []
+    for cls, func in iter_functions(model):
+        if func.name in _BALANCE_EXEMPT:
+            continue  # lock wrappers are unbalanced by design
+        acquires: dict[tuple, list] = {}
+        releases: dict[tuple, list] = {}
+        for event in iter_lock_events(func, cls, model):
+            if event.kind != "call" or len(event.payload) < 2:
+                continue
+            method = event.payload[-1]
+            base = event.payload[:-1]
+            if method not in ("acquire", "release") \
+                    or not _lockish(base, cls, model):
+                continue
+            table = acquires if method == "acquire" else releases
+            table.setdefault(base, []).append(event)
+        for base in sorted(set(acquires) | set(releases)):
+            name = ".".join(base)
+            n_acq = len(acquires.get(base, []))
+            n_rel = len(releases.get(base, []))
+            anchor = (acquires.get(base) or releases.get(base))[0].node
+            if n_acq != n_rel:
+                out.append((anchor,
+                            f"lock {name!r}: {n_acq} acquire() vs {n_rel} "
+                            f"release() in {func.name!r}; unbalanced paths "
+                            "leak or double-release the lock"))
+            elif n_acq and not any(e.in_finally for e in releases[base]):
+                out.append((anchor,
+                            f"lock {name!r}: release() is not in a finally "
+                            "block; an exception between acquire() and "
+                            "release() leaks the lock (use `with` or "
+                            "try/finally)"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# RA705 — lock-ordering cycles
+# ----------------------------------------------------------------------
+
+def _function_summaries(model: ModuleModel):
+    summaries = {}
+    for cls, func in iter_functions(model):
+        fid = f"{cls.name}.{func.name}" if cls is not None else func.name
+        summaries[fid] = (cls, func, iter_lock_events(func, cls, model))
+    return summaries
+
+
+def _resolve_callee(key: "tuple[str, ...]", cls: "ClassModel | None",
+                    model: ModuleModel) -> "str | None":
+    if len(key) == 2 and key[0] == "self" and cls is not None \
+            and key[1] in cls.methods:
+        return f"{cls.name}.{key[1]}"
+    if len(key) == 1 and key[0] in model.functions:
+        return key[0]
+    if len(key) == 2 and key[0] in model.classes \
+            and key[1] in model.classes[key[0]].methods:
+        return f"{key[0]}.{key[1]}"
+    return None
+
+
+def lock_order_edges(model: ModuleModel):
+    """``{(held, acquired): anchor node}`` over the whole module."""
+    summaries = _function_summaries(model)
+    acq_cache: dict[str, frozenset] = {}
+
+    def acquired_by(fid: str, stack: frozenset) -> frozenset:
+        """Locks ``fid`` may acquire, directly or transitively."""
+        if fid in acq_cache:
+            return acq_cache[fid]
+        if fid in stack:
+            return frozenset()
+        cls, _func, events = summaries[fid]
+        got = {e.payload for e in events if e.kind == "acquire_with"}
+        for event in events:
+            if event.kind == "call":
+                callee = _resolve_callee(event.payload, cls, model)
+                if callee is not None and callee in summaries:
+                    got |= acquired_by(callee, stack | {fid})
+        result = frozenset(got)
+        acq_cache[fid] = result
+        return result
+
+    edges: dict[tuple, ast.AST] = {}
+    for fid, (cls, _func, events) in summaries.items():
+        for event in events:
+            if event.kind == "acquire_with":
+                for held in event.held:
+                    edges.setdefault((held, event.payload), event.node)
+            elif event.kind == "call" and event.held:
+                callee = _resolve_callee(event.payload, cls, model)
+                if callee is not None and callee in summaries:
+                    for lock in acquired_by(callee, frozenset({fid})):
+                        for held in event.held:
+                            edges.setdefault((held, lock), event.node)
+    return edges
+
+
+def scan_lock_order(model: ModuleModel):
+    """RA705: one ``(anchor, message)`` per distinct lock cycle."""
+    edges = lock_order_edges(model)
+    graph: dict[str, set] = {}
+    for held, lock in edges:
+        graph.setdefault(held, set()).add(lock)
+    out = []
+    reported: set = set()
+    for (held, lock), node in sorted(edges.items(),
+                                     key=lambda kv: (kv[1].lineno, kv[0])):
+        if held == lock:
+            cyc = (held,)
+            if cyc not in reported:
+                reported.add(cyc)
+                out.append((node,
+                            f"lock {held!r} acquired while already held "
+                            "(self-deadlock unless it is an RLock)"))
+            continue
+        # does a path lock -> ... -> held exist?  then held -> lock closes it
+        path = _find_path(graph, lock, held)
+        if path is not None:
+            cyc = tuple(sorted(set(path + [lock])))
+            if cyc not in reported:
+                reported.add(cyc)
+                chain = " -> ".join(path + [lock])
+                out.append((node,
+                            f"lock-order cycle: {chain}; two threads taking "
+                            "these locks in opposite orders can deadlock"))
+    return out
+
+
+def _find_path(graph: "dict[str, set]", start: str,
+               goal: str) -> "list[str] | None":
+    stack = [(start, [start])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        if node == goal:
+            return path
+        for nxt in sorted(graph.get(node, ())):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, path + [nxt]))
+    return None
+
+
+# ----------------------------------------------------------------------
+# RA707 — borrows-lock helper called without the lock
+# ----------------------------------------------------------------------
+
+def scan_borrowed_calls(model: ModuleModel):
+    """RA707: ``(node, class, method, lock)`` for unprotected borrow calls."""
+    out = []
+    for cls in model.classes.values():
+        if not cls.borrows:
+            continue
+        for func in cls.methods.values():
+            for event in iter_lock_events(func, cls, model):
+                if event.kind != "call":
+                    continue
+                key = event.payload
+                if len(key) != 2 or key[0] != "self":
+                    continue
+                lock = cls.borrows.get(key[1])
+                if lock is None:
+                    continue
+                if f"{cls.name}.{lock}" in event.held:
+                    continue
+                out.append((event.node, cls.name, key[1], lock))
+    return out

@@ -1,0 +1,464 @@
+"""The per-module concurrency model every RA7xx rule reads.
+
+One parse of ``(tree, source)`` produces a :class:`ModuleModel`:
+
+* which module-level globals are **mutable containers** (candidate
+  shared state for the escape analysis, RA701);
+* which module-level globals are **locks** (``threading.Lock()`` /
+  ``RLock()``);
+* per class: methods, lock-valued attributes, class-level mutable
+  attributes, and the annotation tables;
+* the ``# repro: shared[lock=…]`` / ``# repro: borrows-lock[…]``
+  annotation comments, resolved to the fields / methods they sit on.
+
+The annotation syntax (documented in ``docs/analysis.md``)::
+
+    self._entries = OrderedDict()   # repro: shared[lock=_lock]
+    self.acquisitions = [0] * n     # repro: shared[lock=_stats_lock]
+
+    def _drop(self, key):           # repro: borrows-lock[_lock]
+        ...
+
+``shared[lock=X]`` designates the assigned field as shared mutable
+state guarded by the owning object's lock attribute ``X`` — every write
+outside ``__init__`` must then sit under ``with self.X:`` (RA703).
+``shared`` with no lock designates the field as shared and *expected*
+to be guarded by some owned lock.  ``borrows-lock[X]`` on a ``def``
+line documents that the method requires the **caller** to hold ``X``;
+its own writes are exempt from RA703, and calling it without holding
+``X`` is RA707.
+
+The model also provides :func:`iter_writes`, the shared walker yielding
+every *write effect* in a function body together with the set of locks
+lexically held at that point — the currency RA701/702/703/706 trade in.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import expr_key
+
+#: method names that mutate their receiver (container or index mutators)
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "move_to_end", "build", "appendleft", "popleft",
+})
+
+#: calls that construct a fresh mutable container
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "OrderedDict", "defaultdict", "deque",
+    "Counter", "bytearray",
+})
+
+#: constructor names that produce a lock object
+_LOCK_CALLS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                         "BoundedSemaphore"})
+
+_SHARED_RE = re.compile(
+    r"#\s*repro:\s*shared(?:\s*\[\s*lock\s*=\s*(?P<lock>[A-Za-z_]\w*)\s*\])?"
+)
+_BORROWS_RE = re.compile(
+    r"#\s*repro:\s*borrows-lock\s*\[\s*(?P<lock>[A-Za-z_]\w*)\s*\]"
+)
+
+
+@dataclass(frozen=True)
+class SharedAnnotation:
+    """One ``# repro: shared[lock=…]`` comment, resolved to a field."""
+
+    attr: str
+    lock: "str | None"
+    lineno: int
+
+
+@dataclass(frozen=True)
+class BorrowAnnotation:
+    """One ``# repro: borrows-lock[…]`` comment on a ``def`` line."""
+
+    method: str
+    lock: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """One write effect: the expression written through and how."""
+
+    node: ast.AST          # anchor for the finding
+    key: tuple[str, ...]   # expr_key of the written-through expression
+    kind: str              # "rebind" | "store" | "del" | "mutate" | "augment"
+    held: frozenset[str]   # canonical lock names lexically held
+
+
+@dataclass
+class ClassModel:
+    """Concurrency-relevant facts about one class."""
+
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, ast.AST] = field(default_factory=dict)
+    #: self attributes assigned a lock constructor (in any method/body)
+    lock_attrs: set[str] = field(default_factory=set)
+    #: class-body attributes bound to mutable containers
+    class_mutables: dict[str, ast.AST] = field(default_factory=dict)
+    #: attrs re-bound per-instance in __init__ (shadowing class state)
+    init_rebinds: set[str] = field(default_factory=set)
+    #: explicit shared-field designations: attr -> lock name (or None)
+    shared_fields: dict[str, "str | None"] = field(default_factory=dict)
+    #: methods documented as requiring the caller to hold a lock
+    borrows: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def annotated(self) -> bool:
+        """Did the author opt this class into classification (RA706)?"""
+        return bool(self.shared_fields)
+
+
+@dataclass
+class ModuleModel:
+    """Everything the RA7xx scanners need from one module."""
+
+    tree: ast.AST
+    #: module-level mutable-container globals: name -> assignment node
+    mutable_globals: dict[str, ast.AST] = field(default_factory=dict)
+    #: module-level lock globals
+    lock_globals: set[str] = field(default_factory=set)
+    #: module-level explicit shared annotations (globals)
+    shared_globals: dict[str, "str | None"] = field(default_factory=dict)
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+    #: module-level (non-method) functions
+    functions: dict[str, ast.AST] = field(default_factory=dict)
+    imports_threading: bool = False
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+def is_mutable_container(node: ast.AST) -> bool:
+    """Does this initializer expression build a mutable container?"""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name in _MUTABLE_CALLS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        # the `[0] * n` preallocation idiom
+        return (is_mutable_container(node.left)
+                or is_mutable_container(node.right))
+    return False
+
+
+def is_lock_constructor(node: ast.AST) -> bool:
+    """Is this a ``threading.Lock()``-style lock construction?"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    return name in _LOCK_CALLS
+
+
+def _annotation_tables(source: str) -> tuple[dict[int, "str | None"],
+                                             dict[int, str]]:
+    """Line → annotation payload for the two comment forms."""
+    shared: dict[int, "str | None"] = {}
+    borrows: dict[int, str] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro:" not in text:
+            continue
+        match = _SHARED_RE.search(text)
+        if match is not None:
+            shared[lineno] = match.group("lock")
+        match = _BORROWS_RE.search(text)
+        if match is not None:
+            borrows[lineno] = match.group("lock")
+    return shared, borrows
+
+
+def _assign_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)) and stmt.value is not None:
+        return [stmt.target]
+    return []
+
+
+_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def parse_module(tree: ast.AST, source: str = "") -> ModuleModel:
+    """Build the :class:`ModuleModel` of one parsed module."""
+    model = ModuleModel(tree=tree)
+    shared_lines, borrow_lines = _annotation_tables(source)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "threading"
+                   for alias in node.names):
+                model.imports_threading = True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "threading":
+                model.imports_threading = True
+
+    body = getattr(tree, "body", [])
+    for stmt in body:
+        if isinstance(stmt, _FUNCS):
+            model.functions[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            model.classes[stmt.name] = _parse_class(stmt, shared_lines,
+                                                    borrow_lines)
+        else:
+            for target in _assign_targets(stmt):
+                if not isinstance(target, ast.Name):
+                    continue
+                value = getattr(stmt, "value", None)
+                if value is None:
+                    continue
+                if is_lock_constructor(value):
+                    model.lock_globals.add(target.id)
+                elif is_mutable_container(value):
+                    model.mutable_globals[target.id] = stmt
+                if stmt.lineno in shared_lines:
+                    model.shared_globals[target.id] = shared_lines[stmt.lineno]
+    return model
+
+
+def _parse_class(node: ast.ClassDef, shared_lines: dict,
+                 borrow_lines: dict) -> ClassModel:
+    cls = ClassModel(name=node.name, node=node)
+    for stmt in node.body:
+        if isinstance(stmt, _FUNCS):
+            cls.methods[stmt.name] = stmt
+            if stmt.lineno in borrow_lines:
+                cls.borrows[stmt.name] = borrow_lines[stmt.lineno]
+        else:
+            for target in _assign_targets(stmt):
+                if not isinstance(target, ast.Name):
+                    continue
+                value = getattr(stmt, "value", None)
+                if value is not None and is_mutable_container(value):
+                    cls.class_mutables[target.id] = stmt
+                if value is not None and is_lock_constructor(value):
+                    cls.lock_attrs.add(target.id)
+
+    for name, method in cls.methods.items():
+        in_init = name == "__init__"
+        for stmt in ast.walk(method):
+            for target in _assign_targets(stmt):
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    attr = target.attr
+                    value = getattr(stmt, "value", None)
+                    if value is not None and is_lock_constructor(value):
+                        cls.lock_attrs.add(attr)
+                    if in_init:
+                        cls.init_rebinds.add(attr)
+                    if stmt.lineno in shared_lines:
+                        cls.shared_fields[attr] = shared_lines[stmt.lineno]
+    return cls
+
+
+# ----------------------------------------------------------------------
+# The write/lock-context walker
+# ----------------------------------------------------------------------
+
+def canonical_lock(expr: ast.expr, cls: "ClassModel | None",
+                   model: ModuleModel) -> "str | None":
+    """Canonical name of a lock-acquiring context expression, if any.
+
+    ``with self._lock:`` inside class ``C`` → ``"C._lock"``; a module
+    lock global → its name; any other name/attr whose last component
+    mentions "lock" is accepted with its dotted key (conservative: it
+    *is* a lock by naming convention, even if we cannot resolve it).
+    """
+    key = expr_key(expr)
+    if key is None:
+        # `with self.locks.lock_for(0, s):` — a lock-returning call
+        if isinstance(expr, ast.Call):
+            inner = expr_key(expr.func)
+            if inner is not None and "lock" in inner[-1].lower():
+                return ".".join(inner)
+        return None
+    if key[0] == "self" and len(key) == 2 and cls is not None:
+        if key[1] in cls.lock_attrs or "lock" in key[1].lower():
+            return f"{cls.name}.{key[1]}"
+        return None
+    if len(key) == 1 and key[0] in model.lock_globals:
+        return key[0]
+    if "lock" in key[-1].lower():
+        return ".".join(key)
+    return None
+
+
+def iter_writes(func: ast.AST, cls: "ClassModel | None",
+                model: ModuleModel):
+    """Yield every :class:`Write` in ``func``, with held-lock context.
+
+    Nested function definitions are not descended into (they execute on
+    their own schedule and are modeled separately, if at all); ``with``
+    statements over lock expressions push their canonical lock onto the
+    held set for the duration of their body.
+    """
+    held: list[str] = []
+    borrow = None
+    if cls is not None and isinstance(func, _FUNCS):
+        borrow = cls.borrows.get(func.name)
+    if borrow is not None and cls is not None:
+        held.append(f"{cls.name}.{borrow}")
+
+    def emit(node: ast.AST, key: "tuple[str, ...] | None", kind: str):
+        if key is not None:
+            yield Write(node=node, key=key, kind=kind,
+                        held=frozenset(held))
+
+    def walk(stmts) -> "list[Write]":
+        out: list[Write] = []
+        for stmt in stmts:
+            out.extend(visit(stmt))
+        return out
+
+    def visit(stmt: ast.AST) -> "list[Write]":
+        out: list[Write] = []
+        if isinstance(stmt, _FUNCS + (ast.Lambda, ast.ClassDef)):
+            return out
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in stmt.items:
+                lock = canonical_lock(item.context_expr, cls, model)
+                if lock is not None:
+                    held.append(lock)
+                    pushed += 1
+            out.extend(walk(stmt.body))
+            for _ in range(pushed):
+                held.pop()
+            return out
+        # statement-level writes
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            kind = "augment" if isinstance(stmt, ast.AugAssign) else "rebind"
+            for target in _assign_targets(stmt):
+                if isinstance(target, ast.Tuple):
+                    targets = list(target.elts)
+                else:
+                    targets = [target]
+                for tgt in targets:
+                    if isinstance(tgt, ast.Subscript):
+                        out.extend(emit(stmt, expr_key(tgt.value), "store"))
+                    elif isinstance(tgt, (ast.Name, ast.Attribute)):
+                        out.extend(emit(stmt, expr_key(tgt), kind))
+            if value is not None:
+                out.extend(_expr_writes(value))
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    out.extend(emit(stmt, expr_key(target.value), "del"))
+                elif isinstance(target, (ast.Name, ast.Attribute)):
+                    out.extend(emit(stmt, expr_key(target), "del"))
+        elif isinstance(stmt, ast.Expr):
+            out.extend(_expr_writes(stmt.value))
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                out.extend(_expr_writes(child))
+        # compound statements: recurse into bodies with the same context
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if sub and not isinstance(stmt, (ast.Assign, ast.AnnAssign,
+                                             ast.AugAssign)):
+                out.extend(walk(sub))
+        for handler in getattr(stmt, "handlers", []) or []:
+            out.extend(walk(handler.body))
+        for case in getattr(stmt, "cases", []) or []:
+            out.extend(walk(case.body))
+        if isinstance(stmt, (ast.If, ast.While)):
+            out.extend(_expr_writes(stmt.test))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            out.extend(_expr_writes(stmt.iter))
+        return out
+
+    def _expr_writes(expr: ast.AST) -> "list[Write]":
+        """Mutator method calls reachable inside one expression."""
+        out: list[Write] = []
+        for node in ast.walk(expr):
+            if isinstance(node, _FUNCS + (ast.Lambda,)):
+                continue
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATOR_METHODS):
+                key = expr_key(node.func.value)
+                if key is not None:
+                    out.append(Write(node=node, key=key, kind="mutate",
+                                     held=frozenset(held)))
+        return out
+
+    body = getattr(func, "body", [])
+    yield from walk(body)
+
+
+def function_locals(func: ast.AST) -> tuple[set[str], set[str]]:
+    """``(local names, global-declared names)`` of one function body.
+
+    Locals are parameters plus any plain-name assignment targets that
+    are not declared ``global``/``nonlocal``; used to tell a shadowing
+    local apart from a write to module state.
+    """
+    local: set[str] = set()
+    declared: set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+            local.add(arg.arg)
+        if args.vararg:
+            local.add(args.vararg.arg)
+        if args.kwarg:
+            local.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    local.add(name.id)
+        elif isinstance(node, (ast.withitem,)) and node.optional_vars:
+            for name in ast.walk(node.optional_vars):
+                if isinstance(name, ast.Name):
+                    local.add(name.id)
+    local -= declared
+    return local, declared
+
+
+def iter_functions(model: ModuleModel):
+    """Every ``(class-or-None, function)`` pair in the module, including
+    methods and module-level functions (nested defs excluded)."""
+    for func in model.functions.values():
+        yield None, func
+    for cls in model.classes.values():
+        for func in cls.methods.values():
+            yield cls, func
+
+
+# ----------------------------------------------------------------------
+# Single-slot per-file cache (engine feeds every rule the same tree)
+# ----------------------------------------------------------------------
+_CACHE: "tuple[ast.AST, ModuleModel] | None" = None
+
+
+def module_model(tree: ast.AST, source: str = "") -> ModuleModel:
+    """The (cached) :class:`ModuleModel` for one parsed file."""
+    global _CACHE  # repro: noqa[RA701] -- single-slot memo, rebuilt per file; the analyzer is single-threaded by contract
+    if _CACHE is not None and _CACHE[0] is tree:
+        return _CACHE[1]
+    model = parse_module(tree, source)
+    _CACHE = (tree, model)
+    return model

@@ -1,0 +1,86 @@
+"""Escape analysis: mutable state that outlives a single call (RA701/702).
+
+A module-level container or a class-body container is *import-time*
+state: every thread that imports the module shares it.  Writing to it
+from inside a function body therefore races unless the write sits under
+a lock.  The two rules split by where the state lives:
+
+* **RA701** — module-level mutable global (list/dict/set/… display or
+  constructor) written after import time: a ``global`` rebind, a
+  subscript store/delete, or a mutator-method call on the global, from
+  any function in the module, not shadowed by a local of the same name
+  and not under a ``with``-held lock.
+* **RA702** — class-body mutable attribute mutated through instances
+  (``self.X.append(…)``, ``self.X[k] = …``) or through the class
+  (``C.X[k] = …``) where ``__init__`` never rebinds ``self.X`` to a
+  fresh per-instance object: every instance aliases one shared
+  container.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.concurrency.model import (
+    ModuleModel,
+    Write,
+    function_locals,
+    iter_functions,
+    iter_writes,
+)
+
+
+def _is_import_time(func: ast.AST) -> bool:
+    """Module-level code (not wrapped in a def) runs once, at import."""
+    return not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+
+def scan_module_globals(model: ModuleModel) -> "list[tuple[Write, str]]":
+    """RA701: ``(write, global name)`` pairs for racy global mutations."""
+    out: list[tuple[Write, str]] = []
+    if not model.mutable_globals:
+        return out
+    for cls, func in iter_functions(model):
+        local, declared_global = function_locals(func)
+        for write in iter_writes(func, cls, model):
+            name = write.key[0]
+            if name not in model.mutable_globals:
+                continue
+            if name in local and name not in declared_global:
+                continue  # a local shadows the global
+            if write.kind == "rebind" and len(write.key) == 1 \
+                    and name not in declared_global:
+                continue  # plain assignment creates a local, no escape
+            if write.held:
+                continue  # lock-guarded; RA703 checks it is the *right* lock
+            out.append((write, name))
+    return out
+
+
+def scan_class_state(model: ModuleModel) -> "list[tuple[Write, str, str]]":
+    """RA702: ``(write, class, attr)`` for shared class-level mutations."""
+    out: list[tuple[Write, str, str]] = []
+    for cls in model.classes.values():
+        shared_attrs = {
+            attr for attr in cls.class_mutables
+            if attr not in cls.init_rebinds
+        }
+        if not shared_attrs:
+            continue
+        for func in cls.methods.values():
+            for write in iter_writes(func, cls, model):
+                if write.held:
+                    continue
+                key = write.key
+                attr = None
+                if len(key) >= 2 and key[0] == "self" and key[1] in shared_attrs:
+                    # self.X[k] = / self.X.append(...) — len 2 covers both
+                    # (subscript stores key through the container expr)
+                    if write.kind != "rebind" or len(key) > 2:
+                        attr = key[1]
+                elif len(key) >= 2 and key[0] == cls.name \
+                        and key[1] in shared_attrs:
+                    attr = key[1]
+                if attr is not None:
+                    out.append((write, cls.name, attr))
+    return out

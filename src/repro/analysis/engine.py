@@ -32,6 +32,9 @@ class LintRule(abc.ABC):
     code: ClassVar[str] = "RA000"
     title: ClassVar[str] = ""
     severity: ClassVar[Severity] = Severity.ERROR
+    #: rules that read annotation comments (not present in the AST) set
+    #: this; the engine then passes ``source=`` to :meth:`check`
+    wants_source: ClassVar[bool] = False
 
     def applies_to(self, path: PurePath) -> bool:
         """Path predicate; rules scoped to subtrees override this."""
@@ -62,7 +65,9 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
     instance = cls()
     if instance.code in _RULES:
         raise ValueError(f"lint rule {instance.code} registered twice")
-    _RULES[instance.code] = instance
+    # import-time registration: decorators run while the module loads,
+    # under the import lock; the registry is read-only afterwards
+    _RULES[instance.code] = instance  # repro: noqa[RA701]
     return cls
 
 
@@ -112,7 +117,11 @@ def analyze_source(source: str, path: "str | PurePath",
     for rule in (rules if rules is not None else all_rules()):
         if not rule.applies_to(pure):
             continue
-        for found in rule.check(tree, name):
+        if rule.wants_source:
+            produced = rule.check(tree, name, source=source)
+        else:
+            produced = rule.check(tree, name)
+        for found in produced:
             if not is_suppressed(suppressions, found.line, found.rule):
                 findings.append(found)
     findings.sort()

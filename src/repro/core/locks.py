@@ -47,9 +47,9 @@ class KeyRangeLockManager:
         self._locks = [[threading.Lock() for _ in range(stripes)]
                        for _ in range(num_levels)]
         self._alloc_locks = [threading.Lock() for _ in range(num_levels)]
-        # instrumentation consumed by the contention cost model
-        self.acquisitions = [0] * num_levels
         self._stats_lock = threading.Lock()
+        # instrumentation consumed by the contention cost model
+        self.acquisitions = [0] * num_levels   # repro: shared[lock=_stats_lock]
 
     def stripe_of(self, slot: int) -> int:
         """Stripe index covering ``slot``."""

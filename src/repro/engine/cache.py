@@ -27,6 +27,7 @@ per-run observer by the prepare stage.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.obs.metrics import Metrics
@@ -106,6 +107,15 @@ class IndexCache:
     miss and nothing is retained, which is how the back-compat
     :func:`repro.joins.join` cold path preserves the paper's
     build-included timing semantics.
+
+    **Thread safety.**  Every public operation takes the single internal
+    lock, so get / put / put_if_absent / invalidate / evict are each
+    atomic with respect to the LRU order *and* the byte accounting; the
+    lock is never held across a structure build (see
+    :func:`repro.engine.pipeline.prepare`, which builds outside the
+    cache and publishes via :meth:`put_if_absent`).  Counter increments
+    happen outside the cache lock — :class:`~repro.obs.metrics.Metrics`
+    has its own — keeping the lock-order graph acyclic.
     """
 
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES,
@@ -114,10 +124,11 @@ class IndexCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.metrics = metrics if metrics is not None else Metrics()
-        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
-        self._bytes = 0
-        self._evictions = 0
-        self._stores = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()  # repro: shared[lock=_lock]
+        self._bytes = 0       # repro: shared[lock=_lock]
+        self._evictions = 0   # repro: shared[lock=_lock]
+        self._stores = 0      # repro: shared[lock=_lock]
 
     # ------------------------------------------------------------------
     @property
@@ -131,26 +142,68 @@ class IndexCache:
 
     def get(self, key: tuple) -> "object | None":
         """The cached structure, marking it most-recently-used; else None."""
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
         if entry is None:
             self.metrics.inc("cache.miss")
             return None
-        self._entries.move_to_end(key)
         self.metrics.inc("cache.hit")
         return entry.value
 
     def put(self, key: tuple, value: object, bytes_: int) -> None:
-        """Store a freshly-built structure and evict down to budget."""
+        """Store a freshly-built structure and evict down to budget.
+
+        Unconditional last-write-wins: an existing entry under ``key``
+        is replaced (its bytes reclaimed without counting an eviction).
+        Concurrent builders racing on one key should prefer
+        :meth:`put_if_absent`, which keeps a single canonical structure
+        and the ``stores − evictions == entries`` identity.
+        """
         if not self.enabled:
             return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes -= old.bytes
-        self._entries[key] = _Entry(value, bytes_, key[0])
-        self._bytes += bytes_
-        self._stores += 1
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.bytes
+            self._entries[key] = _Entry(value, bytes_, key[0])
+            self._bytes += bytes_
+            self._stores += 1
+            evicted = self._evict_to_budget()
         self.metrics.inc("cache.store")
-        self._evict_to_budget()
+        if evicted:
+            self.metrics.inc("cache.evict", evicted)
+
+    def put_if_absent(self, key: tuple, value: object, bytes_: int) -> object:
+        """Publish a built structure unless one is already cached.
+
+        The compare-and-swap half of the prepare stage's miss path: the
+        build happens outside the lock, so two threads missing on the
+        same key both build — whichever publishes second adopts the
+        first thread's structure instead of displacing it, and the loser
+        is counted as ``cache.race`` (its build was wasted work, not a
+        store).  Returns the canonical structure to use.
+        """
+        if not self.enabled:
+            return value
+        evicted = 0
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+            else:
+                self._entries[key] = _Entry(value, bytes_, key[0])
+                self._bytes += bytes_
+                self._stores += 1
+                evicted = self._evict_to_budget()
+        if existing is not None:
+            self.metrics.inc("cache.race")
+            return existing.value
+        self.metrics.inc("cache.store")
+        if evicted:
+            self.metrics.inc("cache.evict", evicted)
+        return value
 
     def invalidate_relation(self, relation: Relation) -> int:
         """Drop every entry built from ``relation``'s storage, any version.
@@ -160,25 +213,33 @@ class IndexCache:
         by :meth:`Session.invalidate`).  Returns the number dropped.
         """
         storage_id = id(relation.rows)
-        doomed = [key for key, entry in self._entries.items()
-                  if entry.fingerprint[0] == storage_id]
-        for key in doomed:
-            self._drop(key)
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items()
+                      if entry.fingerprint[0] == storage_id]
+            for key in doomed:
+                self._drop(key)
+        if doomed:
+            self.metrics.inc("cache.evict", len(doomed))
         return len(doomed)
 
     def clear(self) -> None:
         """Drop everything (counters keep their history)."""
-        while self._entries:
-            self._drop(next(iter(self._entries)))
+        dropped = 0
+        with self._lock:
+            while self._entries:
+                self._drop(next(iter(self._entries)))
+                dropped += 1
+        if dropped:
+            self.metrics.inc("cache.evict", dropped)
 
     # ------------------------------------------------------------------
-    def _drop(self, key: tuple) -> None:
+    def _drop(self, key: tuple) -> None:   # repro: borrows-lock[_lock]
         entry = self._entries.pop(key)
         self._bytes -= entry.bytes
         self._evictions += 1
-        self.metrics.inc("cache.evict")
 
-    def _evict_to_budget(self) -> None:
+    def _evict_to_budget(self) -> int:   # repro: borrows-lock[_lock]
+        evicted = 0
         while self._entries and (
             self._bytes > self.max_bytes
             or (self.max_entries is not None
@@ -186,24 +247,34 @@ class IndexCache:
         ):
             # LRU: the OrderedDict's head is the coldest entry
             self._drop(next(iter(self._entries)))
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def bytes_used(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def stats(self) -> CacheStats:
+        with self._lock:
+            stores = self._stores
+            evictions = self._evictions
+            entries = len(self._entries)
+            bytes_ = self._bytes
         return CacheStats(
             hits=self.metrics.get("cache.hit"),
             misses=self.metrics.get("cache.miss"),
-            stores=self._stores,
-            evictions=self._evictions,
-            entries=len(self._entries),
-            bytes_=self._bytes,
+            stores=stores,
+            evictions=evictions,
+            entries=entries,
+            bytes_=bytes_,
         )

@@ -217,8 +217,13 @@ def prepare(bound: BoundQuery, join_plan: JoinPlan,
                                              alias=spec.alias, index=spec.kind,
                                              tuples=len(relation))
                 if key is not None:
-                    cache.put(key, structure, estimate_structure_bytes(
-                        structure, len(relation), relation.arity))
+                    # compare-and-swap publish: when another thread built
+                    # the same key first, adopt its structure so every
+                    # concurrent preparer shares one canonical build and
+                    # the LRU byte accounting never double-charges
+                    structure = cache.put_if_absent(
+                        key, structure, estimate_structure_bytes(
+                            structure, len(relation), relation.arity))
             structures[spec.alias] = structure
     build_seconds = watch.lap()
     return PreparedJoin(bound, join_plan, structures, build_seconds)

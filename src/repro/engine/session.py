@@ -47,7 +47,21 @@ from repro.storage.relation import Relation
 
 
 class Session:
-    """A query session over one relation source, with index reuse."""
+    """A query session over one relation source, with index reuse.
+
+    **Thread safety.**  One session may be shared by many threads:
+    :meth:`prepare` and :meth:`execute` write no session state of their
+    own — the staged pipeline's bind/plan stages are pure functions of
+    their inputs, the prepare stage publishes builds through the cache's
+    compare-and-swap :meth:`~repro.engine.cache.IndexCache.put_if_absent`
+    (concurrent misses on one fingerprint each build, one wins, all
+    share the canonical structure), and each execution constructs a
+    fresh driver over the shared prebuilt structures.  The cache and the
+    metrics registry are internally locked; see the thread-safety
+    manifest (``python -m repro.analysis --concurrency-manifest``) and
+    the "Thread-safety contract" section of ``docs/architecture.md``
+    for the verified classification.
+    """
 
     def __init__(self, source: "Catalog | Mapping[str, Relation]",
                  cache_bytes: int = DEFAULT_CACHE_BYTES,

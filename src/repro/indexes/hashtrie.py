@@ -24,6 +24,20 @@ Umbra keys its tables on attribute *hashes* and defers value verification;
 we key on values (Python dicts re-verify automatically) — the behavioural
 drivers of the comparison (lazy redistribution cost, pruning) are
 unaffected, and point lookups stay exact.
+
+**Concurrency note (deliberate, GIL-scoped).**  Lazy expansion mutates
+the trie on the *probe* path: ``node.table[value] = expanded`` replaces
+a chain with its expanded subtree.  Under CPython's GIL this publication
+is benign without a lock — it is an idempotent replacement of one dict
+*value* (two racing probes build equal subtrees from the same frozen
+chain and one atomic store wins; no new keys appear during probes, and
+chains are never mutated in place — expansion builds a fresh object from
+the chain and swaps it in).  The expansion *counters* do drift under
+races, which is accepted: they are single-run diagnostics, not join
+results.  On free-threaded builds this structure would need per-node
+publication CAS; the thread-safety manifest therefore classifies the
+hashtrie driver as safe over *prebuilt shared* structures only under the
+GIL contract documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

@@ -20,7 +20,9 @@ def register_index(name: str, factory: Callable[..., TupleIndex],
     """Register ``factory`` under ``name`` for harness sweeps."""
     if name in _REGISTRY and not replace:
         raise ConfigurationError(f"index {name!r} already registered")
-    _REGISTRY[name] = factory
+    # registration happens at import time (repro.indexes.__init__), under
+    # the import lock; the registry is only read during sweeps
+    _REGISTRY[name] = factory  # repro: noqa[RA701]
 
 
 def make_index(name: str, arity: int, **kwargs) -> TupleIndex:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import threading
 from collections.abc import Iterator
 from typing import ClassVar
 
@@ -43,14 +44,19 @@ class SortedTrie(TupleIndex):
         self._rows: list[tuple] = []
         self._dirty = False
         self._batch_columns: tuple[np.ndarray, ...] | None = None
+        self._flush_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Build (sort-on-freeze, like any sort-based join preparation)
     # ------------------------------------------------------------------
     def insert(self, row: tuple) -> None:
+        # build-phase writes are pre-publication: RA404 forbids insert()
+        # after the index is handed to an adapter/executor, so no other
+        # thread can observe these; only the lazy *flush* (which runs on
+        # the shared probe path) needs the lock
         row = self._check_row(row)
-        self._pending.append(row)
-        self._dirty = True
+        self._pending.append(row)  # repro: noqa[RA703]
+        self._dirty = True  # repro: noqa[RA703]
 
     def _ensure_sorted(self) -> None:
         """Flush pending inserts into the sorted base array.
@@ -59,25 +65,36 @@ class SortedTrie(TupleIndex):
         linear merge of the sorted pending batch into it — not a full
         re-sort of everything ever inserted (this flush sits directly
         under the probe path of every lookup and batch kernel).
+
+        The flush is double-check locked: a session cache can hand one
+        generic-join ``sortedtrie`` structure to concurrent executors
+        before its first probe ever sorted it, and an unguarded flush
+        would let a second reader observe the new ``_rows`` with the
+        cleared ``_pending`` *mixed* — losing rows for good.  ``_dirty``
+        is cleared last, so the lock-free fast path only skips the lock
+        after the merged array is fully published.
         """
         if not self._dirty:
             return
-        pending = sorted(set(self._pending))
-        base = self._rows
-        if not base:
-            merged = pending
-        elif not pending:
-            merged = base
-        else:
-            # both inputs sorted & internally duplicate-free: merge keeps
-            # global order and makes cross-input duplicates adjacent, so
-            # dict.fromkeys drops them in one ordered pass
-            merged = list(dict.fromkeys(heapq.merge(base, pending)))
-        self._rows = merged
-        self._pending = []
-        self._size = len(merged)
-        self._dirty = False
-        self._batch_columns = None
+        with self._flush_lock:
+            if not self._dirty:
+                return  # another thread completed the flush
+            pending = sorted(set(self._pending))
+            base = self._rows
+            if not base:
+                merged = pending
+            elif not pending:
+                merged = base
+            else:
+                # both inputs sorted & internally duplicate-free: merge
+                # keeps global order and makes cross-input duplicates
+                # adjacent, so dict.fromkeys drops them in one ordered pass
+                merged = list(dict.fromkeys(heapq.merge(base, pending)))
+            self._rows = merged
+            self._pending = []
+            self._size = len(merged)
+            self._batch_columns = None
+            self._dirty = False
 
     @property
     def rows(self) -> list[tuple]:
@@ -176,13 +193,18 @@ class SortedTrie(TupleIndex):
         ``searchsorted`` range narrowing runs on.
         """
         self._ensure_sorted()
-        if self._batch_columns is None:
-            rows = self._rows
-            self._batch_columns = tuple(
-                value_array([row[position] for row in rows])
-                for position in range(self.arity)
-            )
-        return self._batch_columns
+        columns = self._batch_columns
+        if columns is None:
+            with self._flush_lock:
+                columns = self._batch_columns
+                if columns is None:
+                    rows = self._rows
+                    columns = tuple(
+                        value_array([row[position] for row in rows])
+                        for position in range(self.arity)
+                    )
+                    self._batch_columns = columns
+        return columns
 
 
 class _Top:

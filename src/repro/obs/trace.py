@@ -24,11 +24,18 @@ Exports:
 :data:`NULL_TRACER` is the disabled twin: ``span()`` hands back one
 shared no-op context manager, so a disabled trace point costs a method
 call and nothing else.
+
+A tracer shared across threads stays coherent: the *nesting stack* is
+thread-local (span depth is a property of one thread's call stack, so
+two threads tracing concurrently each see their own nesting), while the
+finished-span list is appended under a small lock — one locked append
+per span close, never per tuple.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 
@@ -44,8 +51,9 @@ class _SpanHandle:
 
     def __enter__(self) -> "_SpanHandle":
         tracer = self._tracer
-        self._depth = len(tracer._stack)
-        tracer._stack.append(self.name)
+        stack = tracer._stack
+        self._depth = len(stack)
+        stack.append(self.name)
         self._start = tracer._clock()
         return self
 
@@ -63,7 +71,7 @@ class Tracer:
 
     enabled = True
 
-    __slots__ = ("_spans", "_stack", "_clock", "_origin")
+    __slots__ = ("_spans", "_local", "_clock", "_origin", "_lock")
 
     def __init__(self, clock=None):
         if clock is None:
@@ -71,9 +79,19 @@ class Tracer:
             clock = Stopwatch.now_ns
         self._clock = clock
         self._origin: int = clock()
+        self._lock = threading.Lock()
         #: finished spans as (name, start_ns, duration_ns, depth, args)
-        self._spans: list[tuple] = []
-        self._stack: list[str] = []
+        self._spans: list[tuple] = []   # repro: shared[lock=_lock]
+        #: per-thread nesting stacks (depth belongs to one call stack)
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list:
+        """This thread's nesting stack (created empty on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def span(self, name: str, **args) -> _SpanHandle:
@@ -94,7 +112,8 @@ class Tracer:
 
     def _record(self, name: str, start_ns: int, duration_ns: int,
                 depth: int, args: dict) -> None:
-        self._spans.append((name, start_ns, duration_ns, depth, args))
+        with self._lock:
+            self._spans.append((name, start_ns, duration_ns, depth, args))
 
     # ------------------------------------------------------------------
     # Exports
@@ -103,7 +122,9 @@ class Tracer:
         """Finished spans, start-ordered, timestamps in µs from the
         tracer's construction instant."""
         origin = self._origin
-        spans = sorted(self._spans, key=lambda s: s[1])
+        with self._lock:
+            finished = list(self._spans)
+        spans = sorted(finished, key=lambda s: s[1])
         return [
             {
                 "name": name,
@@ -164,8 +185,9 @@ class NullTracer(Tracer):
     def __init__(self):
         self._clock = None
         self._origin = 0
+        self._lock = threading.Lock()
         self._spans = []
-        self._stack = []
+        self._local = threading.local()
 
     def span(self, name: str, **args) -> _NullSpan:
         return _NULL_SPAN

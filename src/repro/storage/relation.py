@@ -24,6 +24,7 @@ the pairing of a relation with an index happens in
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -49,7 +50,8 @@ def _column_array(values: list) -> np.ndarray:
 class Relation:
     """A named collection of tuples over a schema (append-only mutation)."""
 
-    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays", "_version")
+    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays", "_version",
+                 "_mutlock")
 
     def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[tuple]):
         if not isinstance(schema, Schema):
@@ -66,13 +68,16 @@ class Relation:
                     f"schema expects {arity}"
                 )
             stored.append(row)
-        self._rows = stored
+        # the mutation lock serializes appends and lazy cache fills; like
+        # the caches and version box it is shared across renamed views
+        self._mutlock = threading.Lock()
+        self._rows = stored                       # repro: shared[lock=_mutlock]
         # column/array caches and the version counter are *shared objects*
         # across renamed views (positions align), so a mutation through any
         # view invalidates every view's caches and fingerprint at once
-        self._columns: dict[int, list] = {}
-        self._arrays: dict[int, np.ndarray] = {}
-        self._version: list[int] = [0]
+        self._columns: dict[int, list] = {}       # repro: shared[lock=_mutlock]
+        self._arrays: dict[int, np.ndarray] = {}  # repro: shared[lock=_mutlock]
+        self._version: list[int] = [0]            # repro: shared[lock=_mutlock]
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -102,11 +107,22 @@ class Relation:
     # Columnar access
     # ------------------------------------------------------------------
     def column(self, attribute: str) -> list:
-        """All values of ``attribute``, in row order (lazily materialized)."""
+        """All values of ``attribute``, in row order (lazily materialized).
+
+        Double-checked fill: the lock-free fast path serves the common
+        already-cached case; the fill itself happens under the mutation
+        lock so it cannot pin a column snapshot taken mid-``extend``
+        (the cache-clearing there runs under the same lock).
+        """
         position = self.schema.position(attribute)
-        if position not in self._columns:
-            self._columns[position] = [row[position] for row in self._rows]
-        return self._columns[position]
+        cached = self._columns.get(position)
+        if cached is None:
+            with self._mutlock:
+                cached = self._columns.get(position)
+                if cached is None:
+                    cached = [row[position] for row in self._rows]
+                    self._columns[position] = cached
+        return cached
 
     def column_array(self, attribute: str) -> np.ndarray:
         """``attribute``'s values as a numpy array, in row order.
@@ -126,8 +142,12 @@ class Relation:
     def _array(self, position: int) -> np.ndarray:
         array = self._arrays.get(position)
         if array is None:
-            array = _column_array([row[position] for row in self._rows])
-            self._arrays[position] = array
+            with self._mutlock:
+                array = self._arrays.get(position)
+                if array is None:
+                    array = _column_array(
+                        [row[position] for row in self._rows])
+                    self._arrays[position] = array
         return array
 
     # ------------------------------------------------------------------
@@ -175,10 +195,11 @@ class Relation:
             appended.append(row)
         if not appended:
             return
-        self._rows.extend(appended)
-        self._columns.clear()
-        self._arrays.clear()
-        self._version[0] += 1
+        with self._mutlock:
+            self._rows.extend(appended)
+            self._columns.clear()
+            self._arrays.clear()
+            self._version[0] += 1
 
     # ------------------------------------------------------------------
     # Relational operations used by the join drivers and generators
@@ -226,10 +247,12 @@ class Relation:
         view.name = name or self.name
         view.schema = Schema(attributes)
         view._rows = self._rows
-        # positions align, so the caches and version box are shared
+        # positions align, so the caches, version box and mutation lock
+        # are shared — a write through any view is serialized with all
         view._columns = self._columns
         view._arrays = self._arrays
         view._version = self._version
+        view._mutlock = self._mutlock
         return view
 
     def distinct(self, name: str | None = None) -> "Relation":

@@ -1,0 +1,14 @@
+"""Planted RA704: raw acquire/release with no finally protection."""
+
+import threading
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def push(self, item):
+        self._lock.acquire()
+        self.items.append(item)
+        self._lock.release()

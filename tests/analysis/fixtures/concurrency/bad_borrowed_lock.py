@@ -1,0 +1,21 @@
+"""Planted RA707: borrows-lock helper called without holding the lock."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}  # repro: shared[lock=_lock]
+
+    def _drop_oldest(self):  # repro: borrows-lock[_lock]
+        if self._data:
+            del self._data[next(iter(self._data))]
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._drop_oldest()
+
+    def trim(self):
+        self._drop_oldest()

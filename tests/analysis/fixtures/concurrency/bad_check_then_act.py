@@ -1,0 +1,12 @@
+"""Planted RA708: check-then-act dict race in a threading module."""
+
+import threading
+
+_cache = {}  # repro: noqa[RA701] -- keep RA708 isolated
+_cache_lock = threading.Lock()
+
+
+def memoize(key, build):
+    if key not in _cache:
+        _cache[key] = build(key)  # repro: noqa[RA701] -- keep RA708 isolated
+    return _cache[key]

@@ -1,0 +1,8 @@
+"""Planted RA702: class-body container shared by every instance."""
+
+
+class Collector:
+    results = []
+
+    def add(self, item):
+        self.results.append(item)

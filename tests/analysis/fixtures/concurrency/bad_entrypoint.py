@@ -1,0 +1,15 @@
+"""Planted RA706: public method of an annotated class is unsafe."""
+
+import threading
+
+
+class Board:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._scores = {}  # repro: shared[lock=_lock]
+
+    def record(self, name, value):
+        self._store(name, value)
+
+    def _store(self, name, value):
+        self._scores[name] = value  # repro: noqa[RA703] -- keep RA706 isolated

@@ -1,0 +1,8 @@
+"""Planted RA701: module-level mutable registry written after import."""
+
+_REGISTRY = {}
+
+
+def register(name, factory):
+    _REGISTRY[name] = factory
+    return factory

@@ -1,0 +1,18 @@
+"""Planted RA705: two locks taken in opposite orders (deadlock cycle)."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward(work):
+    with lock_a:
+        with lock_b:
+            work()
+
+
+def backward(work):
+    with lock_b:
+        with lock_a:
+            work()

@@ -1,0 +1,16 @@
+"""Planted RA703: annotated shared field written without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # repro: shared[lock=_lock]
+
+    def bump(self):
+        self._count += 1
+
+    def value(self):
+        with self._lock:
+            return self._count

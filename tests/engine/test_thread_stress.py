@@ -1,0 +1,231 @@
+"""Multithreaded stress over one shared Session (the RA7xx runtime witness).
+
+The static analysis (``repro.analysis.concurrency``) proves what it can
+see; this harness exercises what it cannot: many threads driving one
+Session through mixed algorithms over aliased relations, with forced
+evictions and concurrent relation mutation.  Every result must equal the
+single-threaded ground truth, and the cache counters must stay coherent:
+
+* ``stores − evictions == entries`` — put_if_absent is the only publish
+  path, so the identity survives any interleaving;
+* ``store + race == miss`` — every miss builds and then either publishes
+  or adopts the winner's structure;
+* ``hits + misses == executions × lookups-per-execution`` — the prepare
+  stage performs a deterministic number of cache lookups per query shape
+  regardless of interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import Session
+from repro.joins import join
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation
+
+TRIANGLE = "E1=E(a,b), E2=E(b,c), E3=E(c,a)"
+PATH = "R1=E(a,b), R2=E(b,c)"
+
+#: (query, kwargs) pairs mixed across the worker pool — every driver
+#: family, tuple and batch engines, aliased relations throughout
+CASES = [
+    (TRIANGLE, {"algorithm": "generic", "index": "sonic"}),
+    (TRIANGLE, {"algorithm": "generic", "index": "sonic", "engine": "batch"}),
+    (TRIANGLE, {"algorithm": "binary"}),
+    (TRIANGLE, {"algorithm": "hashtrie"}),
+    (TRIANGLE, {"algorithm": "leapfrog"}),
+    (TRIANGLE, {"algorithm": "recursive"}),
+    (PATH, {"algorithm": "generic", "index": "sortedtrie"}),
+    (PATH, {"algorithm": "generic", "index": "btree"}),
+]
+
+THREADS = 8
+ITERATIONS = 6
+JOIN_TIMEOUT = 120.0
+
+
+def make_edges() -> Relation:
+    rows = [(i, (i * 7 + 3) % 23) for i in range(23)]
+    rows += [(i, (i + 1) % 23) for i in range(23)]
+    return Relation("E", ("src", "dst"), sorted(set(rows)))
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    """Single-threaded expected rows per case, via the cold join() path."""
+    tables = {"E": make_edges()}
+    expected = {}
+    for i, (query, kwargs) in enumerate(CASES):
+        result = join(query, tables, materialize=True, **kwargs)
+        expected[i] = sorted(result.rows)
+    return expected
+
+
+def lookups_per_execution() -> dict[int, int]:
+    """Cache lookups (hits+misses) one execution of each case performs."""
+    per_case = {}
+    for i, (query, kwargs) in enumerate(CASES):
+        session = Session({"E": make_edges()})
+        session.execute(query, **kwargs)
+        stats = session.cache_stats()
+        per_case[i] = stats.hits + stats.misses
+    return per_case
+
+
+def run_threads(worker, count=THREADS):
+    """Start, join (with timeout), and surface worker exceptions."""
+    barrier = threading.Barrier(count)
+    errors: list = []
+
+    def wrapped(tid):
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            worker(tid)
+        except Exception as exc:  # surfaced below, never swallowed
+            errors.append((tid, repr(exc)))
+
+    threads = [threading.Thread(target=wrapped, args=(tid,), daemon=True)
+               for tid in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    hung = [t.name for t in threads if t.is_alive()]
+    assert not hung, f"threads still alive after {JOIN_TIMEOUT}s: {hung}"
+    assert errors == []
+
+
+def assert_counters_coherent(session: Session,
+                             expected_lookups: "int | None" = None):
+    stats = session.cache_stats()
+    assert stats.stores - stats.evictions == stats.entries, stats
+    store = session.metrics.get("cache.store")
+    race = session.metrics.get("cache.race")
+    assert store == stats.stores
+    assert store + race == stats.misses, (store, race, stats)
+    if expected_lookups is not None:
+        assert stats.hits + stats.misses == expected_lookups, stats
+
+
+class TestSharedSessionStress:
+    def test_mixed_algorithms_shared_cache(self, ground_truth):
+        session = Session({"E": make_edges()})
+        per_case = lookups_per_execution()
+        schedule: list[list[int]] = [
+            [(tid + step * 3) % len(CASES) for step in range(ITERATIONS)]
+            for tid in range(THREADS)
+        ]
+
+        def worker(tid):
+            for case in schedule[tid]:
+                query, kwargs = CASES[case]
+                result = session.execute(query, materialize=True, **kwargs)
+                assert sorted(result.rows) == ground_truth[case], \
+                    (tid, case, kwargs)
+
+        run_threads(worker)
+        total_lookups = sum(per_case[case]
+                            for row in schedule for case in row)
+        assert_counters_coherent(session, total_lookups)
+
+    def test_forced_evictions_tiny_budget(self, ground_truth):
+        # a budget of a few KiB holds at most one or two structures, so
+        # the pool constantly evicts and rebuilds while racing on keys
+        session = Session({"E": make_edges()}, cache_bytes=8192)
+
+        def worker(tid):
+            for step in range(ITERATIONS):
+                case = (tid * 5 + step) % len(CASES)
+                query, kwargs = CASES[case]
+                result = session.execute(query, materialize=True, **kwargs)
+                assert sorted(result.rows) == ground_truth[case], \
+                    (tid, case, kwargs)
+
+        run_threads(worker)
+        stats = session.cache_stats()
+        assert stats.evictions > 0, "tiny budget never evicted"
+        assert_counters_coherent(session)
+
+    def test_prepared_joins_shared_across_threads(self, ground_truth):
+        # one PreparedJoin per case, prepared once, executed by everyone:
+        # execution must touch only prebuilt read-only structures
+        session = Session({"E": make_edges()})
+        prepared = [session.prepare(query, **kwargs)
+                    for query, kwargs in CASES]
+
+        def worker(tid):
+            for step in range(ITERATIONS):
+                case = (tid + step) % len(CASES)
+                result = prepared[case].execute(materialize=True)
+                assert sorted(result.rows) == ground_truth[case], \
+                    (tid, case)
+
+        run_threads(worker)
+        assert_counters_coherent(session)
+
+
+class TestConcurrentInvalidation:
+    def test_mutation_and_invalidation_under_load(self, ground_truth):
+        # the mutator inserts disconnected edges (no new triangles, so
+        # ground truth is stable) and eagerly invalidates: every worker
+        # execution sees either the old or the new fingerprint, never a
+        # torn structure
+        edges = make_edges()
+        catalog = Catalog()
+        catalog.add(edges)
+        session = Session(catalog)
+        triangle_cases = [i for i, (query, _) in enumerate(CASES)
+                          if query == TRIANGLE]
+        stop = threading.Event()
+
+        def mutate():
+            # bounded: every insert invalidates all cached structures, so
+            # an unthrottled mutator would starve the workers into
+            # rebuilding over an ever-growing relation forever
+            for step in range(60):
+                if stop.is_set():
+                    return
+                edges.insert((10_000 + step, 20_000 + step))
+                if step % 4 == 3:
+                    session.invalidate("E")
+                stop.wait(0.01)
+
+        def worker(tid):
+            for step in range(ITERATIONS):
+                case = triangle_cases[(tid + step) % len(triangle_cases)]
+                query, kwargs = CASES[case]
+                result = session.execute(query, materialize=True,
+                                         **kwargs)
+                assert sorted(result.rows) == ground_truth[case], \
+                    (tid, case, kwargs)
+
+        mutator = threading.Thread(target=mutate, daemon=True)
+        mutator.start()
+        try:
+            run_threads(worker)
+        finally:
+            stop.set()
+            mutator.join(timeout=JOIN_TIMEOUT)
+        assert not mutator.is_alive()
+        assert_counters_coherent(session)
+
+    def test_concurrent_extend_through_aliased_views(self):
+        # extends race through renamed views sharing one storage; the
+        # version counter must count every mutation exactly once
+        edges = make_edges()
+        views = [edges.renamed(f"V{i}") for i in range(THREADS)]
+        before = edges.fingerprint()[1]
+        per_thread = 25
+
+        def worker(tid):
+            view = views[tid]
+            for step in range(per_thread):
+                view.extend([(50_000 + tid * per_thread + step, 1)])
+
+        run_threads(worker)
+        assert edges.fingerprint()[1] == before + THREADS * per_thread
+        assert len(edges.rows) == len(make_edges().rows) \
+            + THREADS * per_thread

@@ -1,0 +1,148 @@
+"""Concurrent Metrics and Tracer: exact totals, per-thread span nesting."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+
+THREADS = 8
+JOIN_TIMEOUT = 60.0
+
+
+def run_threads(worker, count=THREADS):
+    barrier = threading.Barrier(count)
+    errors: list = []
+
+    def wrapped(tid):
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT)
+            worker(tid)
+        except Exception as exc:
+            errors.append((tid, repr(exc)))
+
+    threads = [threading.Thread(target=wrapped, args=(tid,), daemon=True)
+               for tid in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+
+
+class TestMetricsUnderConcurrency:
+    def test_concurrent_inc_totals_exact(self):
+        # the read-modify-write on a dict slot is not atomic; without
+        # the internal lock this loses increments
+        metrics = Metrics()
+        per_thread = 5000
+
+        def worker(tid):
+            for _ in range(per_thread):
+                metrics.inc("shared")
+                metrics.inc(f"mine.{tid}", 2)
+
+        run_threads(worker)
+        assert metrics.get("shared") == THREADS * per_thread
+        for tid in range(THREADS):
+            assert metrics.get(f"mine.{tid}") == 2 * per_thread
+
+    def test_concurrent_observe_histogram_exact(self):
+        metrics = Metrics()
+        per_thread = 2000
+
+        def worker(tid):
+            for i in range(per_thread):
+                metrics.observe("lat", tid * per_thread + i)
+
+        run_threads(worker)
+        hist = metrics.histograms()["lat"]
+        total_obs = THREADS * per_thread
+        assert hist["count"] == total_obs
+        assert hist["min"] == 0
+        assert hist["max"] == total_obs - 1
+        assert hist["total"] == total_obs * (total_obs - 1) // 2
+
+    def test_concurrent_merge_into_shared_registry(self):
+        shared = Metrics()
+
+        def worker(tid):
+            local = Metrics()
+            for _ in range(1000):
+                local.inc("runs")
+                local.observe("v", tid)
+            shared.merge(local)
+
+        run_threads(worker)
+        assert shared.get("runs") == THREADS * 1000
+        assert shared.histograms()["v"]["count"] == THREADS * 1000
+
+    def test_merge_does_not_self_deadlock_cross(self):
+        a, b = Metrics(), Metrics()
+        a.inc("x")
+        b.inc("x")
+
+        def worker(tid):
+            for _ in range(300):
+                if tid % 2:
+                    a.merge(b)
+                else:
+                    b.merge(a)
+
+        run_threads(worker, count=4)  # finishing at all is the assertion
+
+
+class TestTracerUnderConcurrency:
+    def test_span_stack_is_thread_local(self):
+        # depths must reflect each thread's own nesting, not a shared
+        # stack torn by interleaved enters/exits
+        tracer = Tracer()
+        per_thread = 200
+
+        def worker(tid):
+            for i in range(per_thread):
+                with tracer.span(f"outer.{tid}", i=i):
+                    with tracer.span(f"inner.{tid}", i=i):
+                        pass
+
+        run_threads(worker)
+        spans = tracer.as_dicts()
+        assert len(spans) == THREADS * per_thread * 2
+        for span in spans:
+            expected_depth = 0 if span["name"].startswith("outer.") else 1
+            assert span["depth"] == expected_depth, span
+
+    def test_no_spans_lost_under_concurrent_append(self):
+        tracer = Tracer()
+        per_thread = 1000
+
+        def worker(tid):
+            for i in range(per_thread):
+                tracer.add_span(f"t{tid}", i, 1)
+
+        run_threads(worker)
+        spans = tracer.as_dicts()
+        assert len(spans) == THREADS * per_thread
+        by_thread = {}
+        for span in spans:
+            by_thread[span["name"]] = by_thread.get(span["name"], 0) + 1
+        assert by_thread == {f"t{tid}": per_thread
+                             for tid in range(THREADS)}
+
+    def test_exception_unwinds_this_threads_stack_only(self):
+        tracer = Tracer()
+
+        def worker(tid):
+            for _ in range(100):
+                try:
+                    with tracer.span("risky"):
+                        raise ValueError("boom")
+                except ValueError:
+                    pass
+                with tracer.span("after"):
+                    pass
+
+        run_threads(worker)
+        assert all(span["depth"] == 0 for span in tracer.as_dicts())
