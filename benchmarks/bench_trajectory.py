@@ -37,6 +37,7 @@ Usage::
     python benchmarks/bench_trajectory.py --min-speedup 3.0   # + perf gate
     python benchmarks/bench_trajectory.py --smoke --sessions-only
     python benchmarks/bench_trajectory.py --min-warm-speedup 5.0
+    python benchmarks/bench_trajectory.py --smoke --build-only
 
 ``--min-speedup X`` additionally requires batch to beat tuple by ``X``x
 (probe time) on every triangle case with >= 50k edges; used when
@@ -45,6 +46,14 @@ gates on shared CI runners are flake factories).  ``--min-warm-speedup``
 is the warm-path analogue, gating the ``triangle_hot`` serving case;
 ``--sessions-only`` runs just the session section (the CI session-reuse
 smoke job).
+
+A ``bulk_build`` section compares the cold adapter-build cost of the
+per-tuple ``insert()`` loop against the columnar ``build_bulk`` path
+(one ``np.lexsort`` + group-at-a-time construction) on the pinned
+triangle@100k relation, gated by ``--min-build-speedup``;
+``--build-only`` runs just that section (the CI build-speedup smoke
+job).  Partial runs (``--sessions-only``/``--build-only``) never
+rewrite the committed JSON.
 
 The run also measures the **observability overhead** (``obs_overhead``
 in the output JSON): probe time with no observer vs a present-but-
@@ -65,6 +74,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.adapter import set_bulk_build               # noqa: E402
 from repro.data.graphs import random_edge_relation          # noqa: E402
 from repro.data.imdb import job_light_queries, make_imdb    # noqa: E402
 from repro.engine import Session                            # noqa: E402
@@ -368,13 +378,87 @@ def run_session_suite(smoke: bool, index: str, repeats: int) -> dict:
     return sessions
 
 
+#: the columnar-build comparison runs on the largest pinned triangle
+BULK_GRAPH = (10_000, 100_000)
+BULK_GRAPH_SMOKE = (600, 2_000)
+
+
+def run_bulk_build(smoke: bool, index: str, repeats: int) -> dict:
+    """Cold build cost: per-tuple ``insert()`` vs columnar ``build_bulk``.
+
+    The same cold triangle join runs with the adapter's bulk switch off
+    and on; ``build_s`` (the executor's adapter-build phase, which in
+    bulk mode includes column materialization, the lexsort and the
+    group-walk) is compared best-of-``repeats`` per mode.  The result
+    counts must agree exactly — this section doubles as an equivalence
+    gate on the integrated path.
+    """
+    nodes, edges = BULK_GRAPH_SMOKE if smoke else BULK_GRAPH
+    relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+    relations = {"E1": relation, "E2": relation, "E3": relation}
+    repeats = max(repeats, 3)
+
+    modes: dict[str, dict] = {}
+    for mode, enabled in (("per_tuple", False), ("bulk", True)):
+        previous = set_bulk_build(enabled)
+        try:
+            best = None
+            for _ in range(repeats):
+                result = join(TRIANGLE, relations, index=index, engine="tuple")
+                metrics = result.metrics
+                if best is None or metrics.build_seconds < best["build_s"]:
+                    best = {
+                        "count": result.count,
+                        "build_s": round(metrics.build_seconds, 6),
+                        "probe_s": round(metrics.probe_seconds, 6),
+                        "total_s": round(metrics.total_seconds, 6),
+                    }
+        finally:
+            set_bulk_build(previous)
+        modes[mode] = best
+
+    per_tuple, bulk = modes["per_tuple"], modes["bulk"]
+    speedup = (round(per_tuple["build_s"] / bulk["build_s"], 3)
+               if bulk["build_s"] else None)
+    report = {
+        "name": f"bulk_build_n{nodes}_m{edges}",
+        "nodes": nodes,
+        "edges": edges,
+        "index": index,
+        "repeats": repeats,
+        "per_tuple": per_tuple,
+        "bulk": bulk,
+        "build_speedup": speedup,
+        "diverged": per_tuple["count"] != bulk["count"],
+    }
+    status = "DIVERGED" if report["diverged"] else "ok"
+    print("bulk build:")
+    print(f"  {report['name']:42s} count={per_tuple['count']:<10d} "
+          f"build {per_tuple['build_s']:.3f}s -> {bulk['build_s']:.3f}s "
+          f"({speedup}x)  [{status}]")
+    return report
+
+
 def check_gates(cases: list[dict], min_speedup: float,
                 obs_overhead: "dict | None" = None,
                 max_obs_overhead: float = 0.0,
                 sessions: "dict | None" = None,
-                min_warm_speedup: float = 0.0) -> list[str]:
+                min_warm_speedup: float = 0.0,
+                bulk: "dict | None" = None,
+                min_build_speedup: float = 0.0) -> list[str]:
     """Equivalence gate (always) and the optional speedup/overhead gates."""
     failures = []
+    if bulk is not None:
+        if bulk["diverged"]:
+            failures.append(
+                f"{bulk['name']}: bulk count {bulk['bulk']['count']} != "
+                f"per-tuple count {bulk['per_tuple']['count']}"
+            )
+        if min_build_speedup > 0 and (bulk["build_speedup"] or 0) < min_build_speedup:
+            failures.append(
+                f"{bulk['name']}: build speedup {bulk['build_speedup']}x "
+                f"below the {min_build_speedup}x gate"
+            )
     if sessions is not None:
         cache = sessions["cache"]
         if not cache["ok"]:
@@ -441,6 +525,14 @@ def main(argv=None) -> int:
                         help="run only the session section (cache counter "
                              "verification + triangle_hot); the CI "
                              "session-reuse smoke job")
+    parser.add_argument("--min-build-speedup", type=float, default=0.0,
+                        help="fail unless the columnar build_bulk path beats "
+                             "the per-tuple insert loop by this factor "
+                             "(adapter build time) on the pinned triangle")
+    parser.add_argument("--build-only", action="store_true",
+                        help="run only the bulk-build section (per-tuple vs "
+                             "columnar cold build); the CI build-speedup "
+                             "smoke job")
     parser.add_argument("--max-obs-overhead", type=float, default=5.0,
                         help="fail if a disabled observer costs more than "
                              "this %% probe time vs no observer at all "
@@ -450,18 +542,29 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.smoke else 3)
 
-    if args.sessions_only:
+    partial = args.sessions_only or args.build_only
+    if args.build_only:
         cases: list[dict] = []
         obs_overhead = None
+        sessions = None
+        bulk_build = run_bulk_build(args.smoke, args.index, repeats)
+    elif args.sessions_only:
+        cases = []
+        obs_overhead = None
+        sessions = run_session_suite(args.smoke, args.index, repeats)
+        bulk_build = None
     else:
         cases = run_suite(args.smoke, args.index, repeats)
         obs_overhead = measure_obs_overhead(args.smoke, args.index)
-    sessions = run_session_suite(args.smoke, args.index, repeats)
+        sessions = run_session_suite(args.smoke, args.index, repeats)
+        bulk_build = run_bulk_build(args.smoke, args.index, repeats)
     failures = check_gates(cases, args.min_speedup,
                            obs_overhead=obs_overhead,
                            max_obs_overhead=args.max_obs_overhead,
                            sessions=sessions,
-                           min_warm_speedup=args.min_warm_speedup)
+                           min_warm_speedup=args.min_warm_speedup,
+                           bulk=bulk_build,
+                           min_build_speedup=args.min_build_speedup)
 
     payload = {
         "suite": "generic_join_trajectory",
@@ -473,9 +576,11 @@ def main(argv=None) -> int:
         "cases": cases,
         "sessions": sessions,
         "obs_overhead": obs_overhead,
+        "bulk_build": bulk_build,
     }
-    if args.sessions_only:
-        print(f"\nsessions-only run: not rewriting {args.output}")
+    if partial:
+        which = "build-only" if args.build_only else "sessions-only"
+        print(f"\n{which} run: not rewriting {args.output}")
     else:
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {args.output} ({len(cases)} cases)")

@@ -7,8 +7,12 @@ Three engines, one diagnostic currency (:class:`~repro.analysis.findings.Finding
    iteration safety, loud error handling and sanctioned timers, plus the
    dataflow family RA401–RA504 (:mod:`~repro.analysis.dataflow`,
    :mod:`~repro.analysis.rules_dataflow`): CFG/fixpoint typestate checks
-   of the cursor protocol and hot-loop hygiene.  Findings are
-   suppressible per line with ``# repro: noqa[RULE]``.
+   of the cursor protocol and hot-loop hygiene, the concurrency family
+   RA701–RA708 (:mod:`~repro.analysis.concurrency`) and the
+   numeric-kernel family RA801–RA808 (:mod:`~repro.analysis.numeric`):
+   dtype/copy abstract interpretation guarding the int64-canonical
+   column contract.  Findings are suppressible per line with
+   ``# repro: noqa[RULE]``.
 2. **Contract checker** (:mod:`~repro.analysis.contracts`) — RA201–RA205,
    introspecting :mod:`repro.indexes.registry` for the paper's §4.1
    ``TupleIndex``/``PrefixCursor`` plug-in contract.
@@ -52,6 +56,7 @@ from repro.analysis.reporters import (
 import repro.analysis.rules  # noqa: F401  (importing registers RA101–RA105)
 import repro.analysis.rules_dataflow  # noqa: F401  (registers RA401–RA504)
 import repro.analysis.rules_concurrency  # noqa: F401  (registers RA701–RA708)
+import repro.analysis.rules_numeric  # noqa: F401  (registers RA801–RA808)
 
 __all__ = [
     "Finding",

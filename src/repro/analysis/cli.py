@@ -19,6 +19,7 @@ Examples::
     python -m repro.analysis --baseline analysis-baseline.json
     python -m repro.analysis --changed-only       # fast pre-commit loop
     python -m repro.analysis --concurrency-manifest manifest.json
+    python -m repro.analysis --numeric-report numeric-report.json
     python -m repro.analysis --list-rules
 """
 
@@ -101,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
              "stdout) and exit; non-zero when a require_safe entry point "
              "is not classified thread-safe",
     )
+    parser.add_argument(
+        "--numeric-report", nargs="?", const="-", metavar="FILE",
+        help="emit the per-module kernel-hygiene JSON (arrays entering "
+             "kernels by dtype class, copy sites, bulk-vs-scalar build "
+             "sites) to FILE (default stdout) and exit",
+    )
     return parser
 
 
@@ -158,6 +165,21 @@ def _emit_manifest(destination: str) -> int:
     return 1 if failures else 0
 
 
+def _emit_numeric_report(destination: str, paths: "Sequence[str]") -> int:
+    """Write the kernel-hygiene report (informational; always exits 0)."""
+    import json
+
+    from repro.analysis.numeric.report import build_numeric_report
+
+    data = build_numeric_report(paths)
+    text = json.dumps(data, indent=2) + "\n"
+    if destination == "-":
+        print(text, end="")
+    else:
+        Path(destination).write_text(text, encoding="utf-8")
+    return 0
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
@@ -173,6 +195,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
 
     if options.concurrency_manifest is not None:
         return _emit_manifest(options.concurrency_manifest)
+
+    if options.numeric_report is not None:
+        return _emit_numeric_report(options.numeric_report, options.paths)
 
     try:
         rules = select_rules(options.rules)

@@ -1,0 +1,50 @@
+"""Numeric-kernel analysis (RA801–RA808): dtype/copy abstract interpretation.
+
+The fourth dataflow family.  Where the typestate pass (RA4xx) tracks
+*protocol* state and the concurrency pass (RA7xx) tracks *lock* state,
+this package tracks the **numpy value state** the SonicJoin kernels
+depend on: every column array that reaches ``searchsorted``/``lexsort``/
+the batch-cursor entry points is supposed to be an ``int64``, C-contiguous,
+sorted-when-required array — the int64-canonical column contract of
+``docs/architecture.md``.  A silent ``object``-dtype fallback, a fancy-
+indexing copy in a probe loop, or a per-tuple ``insert()`` build loop all
+defeat the paper's vectorised cost model without failing a single test;
+these rules make each of them a finding.
+
+Layout:
+
+* :mod:`~repro.analysis.numeric.lattice` — the abstract value: a dtype
+  lattice (``int64 | numeric | object | unknown``) × a copy/view
+  provenance lattice (``fresh | view | unknown``) plus sortedness and
+  contiguity facts.
+* :mod:`~repro.analysis.numeric.absint` — the abstract interpreter, a
+  :class:`~repro.analysis.dataflow.solver.ForwardAnalysis` over the
+  shared CFGs, evaluating numpy constructors, methods, slicing and fancy
+  indexing.
+* :mod:`~repro.analysis.numeric.model` — one cached pass per file
+  combining the interpreter's events with the syntactic contract
+  checks (RA806–RA808) into findings for the rule family.
+* :mod:`~repro.analysis.numeric.report` — the ``--numeric-report``
+  kernel-hygiene JSON (arrays entering kernels by dtype class, copy
+  sites, bulk-vs-scalar build sites).
+
+The package root stays import-light (stdlib only), like the rest of
+:mod:`repro.analysis`.
+"""
+
+from repro.analysis.numeric.lattice import (
+    ArrayValue,
+    IndexValue,
+    join_arrays,
+)
+from repro.analysis.numeric.model import NumericModel, numeric_model
+from repro.analysis.numeric.report import build_numeric_report
+
+__all__ = [
+    "ArrayValue",
+    "IndexValue",
+    "NumericModel",
+    "build_numeric_report",
+    "join_arrays",
+    "numeric_model",
+]

@@ -1,0 +1,89 @@
+"""The abstract value domain for the numeric pass.
+
+One :class:`ArrayValue` per tracked local: the join-semilattice product
+of four small facts about a numpy array —
+
+* **dtype class** — ``int64`` (the canonical column dtype), ``numeric``
+  (any other numeric/bool dtype), ``object`` (the fallback the kernels
+  must never see) or ``unknown`` (top).
+* **provenance** — ``fresh`` (this binding owns a new allocation),
+  ``view`` (aliases another array's buffer) or ``unknown``.  Fresh
+  allocations inside hot loops are the RA803 signal; views are what
+  ``copy=False`` discipline is supposed to preserve.
+* **order** — ``sorted`` / ``unsorted`` / ``unknown``; ``searchsorted``
+  requires ``sorted`` (RA805).
+* **contiguity** — ``True`` / ``False`` / ``None`` (unknown); strided
+  slices (``a[::2]``) break it, which also trips RA805.
+
+Joins are fieldwise: equal facts survive a merge point, disagreeing
+facts go to the field's top.  There is no bottom element — the state
+maps simply drop names the interpreter cannot describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# dtype classes
+DT_INT64 = "int64"
+DT_NUMERIC = "numeric"
+DT_OBJECT = "object"
+DT_UNKNOWN = "unknown"
+
+# provenance
+PROV_FRESH = "fresh"
+PROV_VIEW = "view"
+PROV_UNKNOWN = "unknown"
+
+# sortedness
+ORD_SORTED = "sorted"
+ORD_UNSORTED = "unsorted"
+ORD_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """Abstract numpy array: dtype class × provenance × order × contiguity."""
+
+    dtype: str = DT_UNKNOWN
+    prov: str = PROV_UNKNOWN
+    order: str = ORD_UNKNOWN
+    contiguous: "bool | None" = None
+
+    def with_dtype(self, dtype: str) -> "ArrayValue":
+        return ArrayValue(dtype, self.prov, self.order, self.contiguous)
+
+    def with_order(self, order: str) -> "ArrayValue":
+        return ArrayValue(self.dtype, self.prov, order, self.contiguous)
+
+
+@dataclass(frozen=True)
+class IndexValue:
+    """Abstract tuple-index instance (SonicIndex/SortedTrie/make_index).
+
+    Tracked so RA806 can tell a per-tuple ``insert()`` loop on a real
+    index apart from ``insert()`` on an arbitrary object.
+    """
+
+    kind: str = "index"
+
+
+def _join_field(left: str, right: str, top: str) -> str:
+    return left if left == right else top
+
+
+def join_arrays(left: ArrayValue, right: ArrayValue) -> ArrayValue:
+    """Fieldwise least upper bound of two abstract arrays."""
+    if left == right:
+        return left
+    return ArrayValue(
+        dtype=_join_field(left.dtype, right.dtype, DT_UNKNOWN),
+        prov=_join_field(left.prov, right.prov, PROV_UNKNOWN),
+        order=_join_field(left.order, right.order, ORD_UNKNOWN),
+        contiguous=(left.contiguous if left.contiguous == right.contiguous
+                    else None),
+    )
+
+
+def join_dtypes(left: str, right: str) -> str:
+    return _join_field(left, right, DT_UNKNOWN)

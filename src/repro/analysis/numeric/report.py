@@ -1,0 +1,72 @@
+"""The ``--numeric-report`` kernel-hygiene summary.
+
+One JSON document over the analysed tree, per module: which arrays enter
+kernels and with what dtype class, where copies are allocated, and where
+indexes are built bulk-vs-scalar.  The report is *informational* (the
+gating lives in the RA8xx rules + baseline); CI uploads it as an
+artifact so a PR's kernel hygiene is one download away, mirroring the
+thread-safety manifest of the concurrency family.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import iter_python_files
+from repro.analysis.numeric.model import numeric_model
+
+SCHEMA = "repro/numeric-report/v1"
+
+
+def module_summary(tree: ast.AST) -> "dict | None":
+    """Kernel-hygiene summary of one parsed module (None when empty)."""
+    model = numeric_model(tree)
+    if not (model.kernel_entries or model.copy_sites
+            or model.bulk_sites or model.scalar_sites):
+        return None
+    histogram = Counter(entry["dtype_class"]
+                        for entry in model.kernel_entries)
+    return {
+        "kernel_entries": sorted(model.kernel_entries,
+                                 key=lambda e: (e["line"], e["kernel"])),
+        "kernel_dtype_histogram": dict(sorted(histogram.items())),
+        "copy_sites": sorted(model.copy_sites,
+                             key=lambda e: (e["line"], e["op"])),
+        "bulk_build_sites": sorted(model.bulk_sites),
+        "scalar_build_sites": sorted(model.scalar_sites),
+    }
+
+
+def build_numeric_report(paths: Iterable["str | Path"]) -> dict:
+    """Per-module kernel-hygiene JSON over every Python file in ``paths``."""
+    modules: dict[str, dict] = {}
+    totals: Counter = Counter()
+    dtype_totals: Counter = Counter()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue  # the lint gate reports unreadable files (RA001)
+        summary = module_summary(tree)
+        if summary is None:
+            continue
+        modules[file_path.as_posix()] = summary
+        totals["kernel_entries"] += len(summary["kernel_entries"])
+        totals["copy_sites"] += len(summary["copy_sites"])
+        totals["bulk_build_sites"] += len(summary["bulk_build_sites"])
+        totals["scalar_build_sites"] += len(summary["scalar_build_sites"])
+        dtype_totals.update(summary["kernel_dtype_histogram"])
+    return {
+        "schema": SCHEMA,
+        "modules": dict(sorted(modules.items())),
+        "totals": {
+            **{key: totals.get(key, 0)
+               for key in ("kernel_entries", "copy_sites",
+                           "bulk_build_sites", "scalar_build_sites")},
+            "kernel_dtype_histogram": dict(sorted(dtype_totals.items())),
+        },
+    }

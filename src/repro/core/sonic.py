@@ -54,7 +54,13 @@ from typing import ClassVar
 from repro.core.config import SonicConfig
 from repro.core.hashing import hash_key
 from repro.errors import CapacityError, ConfigurationError, SchemaError
-from repro.indexes.base import CursorBatchCursor, PrefixCursor, TupleIndex
+from repro.indexes.base import (
+    CursorBatchCursor,
+    PrefixCursor,
+    TupleIndex,
+    bulk_columns,
+    sorted_unique_rows,
+)
 
 _NO_OWNER = object()  # bucket not yet allocated to any parent
 _NO_PATCH = object()  # entry resident in its home bucket (null patch key)
@@ -111,6 +117,7 @@ class SonicIndex(TupleIndex):
 
     NAME: ClassVar[str] = "sonic"
     SUPPORTS_BATCH: ClassVar[bool] = True
+    SUPPORTS_BULK_BUILD: ClassVar[bool] = True
 
     def __init__(self, arity: int, config: SonicConfig | None = None,
                  capacity: int | None = None, bucket_size: int | None = None,
@@ -332,6 +339,154 @@ class SonicIndex(TupleIndex):
             )
         level.shared = True
         return hash_key(parent_key, self._seed ^ 0xB0C4E7) % level.num_buckets
+
+    # ------------------------------------------------------------------
+    # Columnar bulk build (§3.4.1, amortized across sorted groups)
+    # ------------------------------------------------------------------
+    def build_bulk(self, columns) -> None:
+        """Build from columns: sort once, then insert group-at-a-time.
+
+        The columns (one array per component, pre-permuted into index
+        order) are lexsorted and deduplicated with vectorized numpy ops,
+        and the rows go in in canonical (sorted) order, which makes every
+        run of tuples sharing a key prefix *contiguous*: the root-to-leaf
+        probe chain is resolved once per distinct prefix and reused for
+        the whole run, where :meth:`insert` re-hashes and re-walks the
+        chain for every tuple — including a full duplicate scan of the
+        group's probe run.  The resulting structure is byte-identical to
+        sequential :meth:`insert` of the same deduplicated rows in sorted
+        order: slots are claimed by the exact probes insert would issue,
+        and no slot is ever freed during a build, so the cached chain
+        state can never go stale within a run.
+
+        Falls back to per-row inserts when a tracer is attached (traces
+        must reflect per-insert touches), when the index already holds
+        tuples, or when the values admit no total order.
+        """
+        arrays = bulk_columns(self.arity, columns)
+        rows = None
+        if self.tracer is None and self._size == 0:
+            rows = sorted_unique_rows(arrays)
+        if rows is None:
+            self._insert_columns(arrays)
+            return
+        if not rows:
+            return
+
+        levels = self._levels
+        num_levels = self.num_levels
+        last = levels[-1]
+        capacity = last.capacity
+        keys = last.keys
+        stored = last.rows
+        counts = last.prefix_count
+        check_parent = last.bucket_owner is not None
+        seed = self._seed
+        # cached chain state for the current prefix: the resolved slot per
+        # inner level and the designated child bucket hanging under it
+        inner_slots = [0] * (num_levels - 1)
+        child_desig = [0] * (num_levels - 1)
+        # last-level group state (rows sharing every key component): the
+        # stable head slot that accumulates the prefix count, and the slot
+        # after the most recent claim, where probing resumes
+        lg_head = -1
+        lg_next = 0
+        lg_desig: "int | None" = None
+        lg_parent = None
+        prev = None
+
+        for row in rows:
+            keep = 0
+            if prev is not None:
+                while keep < num_levels and row[keep] == prev[keep]:
+                    keep += 1
+            prev = row
+            if keep < num_levels:
+                # chain diverged: re-resolve inner levels from the first
+                # changed component, then open a new last-level group
+                for i in range(keep, num_levels - 1):
+                    level = levels[i]
+                    key = row[i]
+                    if i == 0:
+                        slot, found = self._probe_first(level, key)
+                        if not found:
+                            self._claim(level, slot, key)
+                            level.next_bucket[slot] = self._allocate_bucket(
+                                levels[1], key)
+                    else:
+                        designated = child_desig[i - 1]
+                        slot, found = self._probe_inner(
+                            level, designated, key, row[i - 1])
+                        if not found:
+                            self._claim(level, slot, key,
+                                        designated=designated,
+                                        parent_key=row[i - 1])
+                            level.next_bucket[slot] = self._allocate_bucket(
+                                levels[i + 1], key)
+                    inner_slots[i] = slot
+                    child_desig[i] = level.next_bucket[slot]
+                key = row[last.index]
+                if num_levels == 1:
+                    lg_desig = None
+                    lg_parent = None
+                    slot = hash_key(key, seed) % capacity
+                else:
+                    lg_desig = child_desig[num_levels - 2]
+                    lg_parent = row[last.index - 1]
+                    slot = (lg_desig * last.bucket_size
+                            + hash_key(key, seed) % last.bucket_size)
+                # first placement of the group: the full _insert_last walk,
+                # tracking the head slot (no duplicate scan — dedupe above
+                # guarantees the tuple is new)
+                head = -1
+                placed = False
+                for _ in range(capacity):
+                    existing = keys[slot]
+                    if existing is None:
+                        keys[slot] = key
+                        stored[slot] = row
+                        self._after_claim(last, slot, lg_desig, lg_parent)
+                        lg_head = head if head >= 0 else slot
+                        counts[lg_head] += 1
+                        lg_next = (slot + 1) % capacity
+                        placed = True
+                        break
+                    if (existing == key and head < 0
+                            and (not check_parent or self._parent_matches(
+                                last, slot, lg_parent))):
+                        head = slot
+                    slot = (slot + 1) % capacity
+                if not placed:
+                    raise CapacityError(
+                        f"Sonic level {last.index} full (capacity {capacity}); "
+                        f"configure a larger capacity/overallocation"
+                    )
+            else:
+                # same full key prefix as the previous row: chain and group
+                # head unchanged, resume probing where the last claim left
+                # off (the chain prefix is occupied and immutable)
+                key = row[last.index]
+                slot = lg_next
+                placed = False
+                for _ in range(capacity):
+                    if keys[slot] is None:
+                        keys[slot] = key
+                        stored[slot] = row
+                        self._after_claim(last, slot, lg_desig, lg_parent)
+                        counts[lg_head] += 1
+                        lg_next = (slot + 1) % capacity
+                        placed = True
+                        break
+                    slot = (slot + 1) % capacity
+                if not placed:
+                    raise CapacityError(
+                        f"Sonic level {last.index} full (capacity {capacity}); "
+                        f"configure a larger capacity/overallocation"
+                    )
+            self._size += 1
+            for i in range(num_levels - 1):
+                levels[i].prefix_count[inner_slots[i]] += 1
+        return None
 
     # ------------------------------------------------------------------
     # Lookups (§3.4.3, Alg. 3)

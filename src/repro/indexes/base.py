@@ -57,6 +57,61 @@ def value_array(values: "Sequence | np.ndarray") -> np.ndarray:
     return arr
 
 
+def bulk_columns(arity: int, columns: "Sequence") -> list[np.ndarray]:
+    """Validate a columnar build input: ``arity`` equal-length 1-d arrays.
+
+    Each column is normalized through :func:`value_array` (int64 / string /
+    object, never a silently-stringified mix), so every ``build_bulk``
+    implementation sees the same canonical dtypes the probe kernels do.
+    """
+    arrays = [value_array(column) for column in columns]
+    if len(arrays) != arity:
+        raise SchemaError(
+            f"columnar build got {len(arrays)} columns for arity {arity}"
+        )
+    if len({len(array) for array in arrays}) > 1:
+        raise SchemaError(
+            "columnar build got ragged columns: lengths "
+            f"{[len(array) for array in arrays]}"
+        )
+    return arrays
+
+
+#: dtype kinds with a total order consistent with python comparisons
+_SORTABLE_KINDS = frozenset("iufbU")
+
+
+def sorted_unique_rows(arrays: "Sequence[np.ndarray]") -> "list[tuple] | None":
+    """Lexicographically sorted, duplicate-free row tuples from columns.
+
+    The vectorized path (one ``np.lexsort`` plus a shifted-comparison
+    dedupe) runs whenever every column's dtype admits a total order that
+    matches python's; otherwise the rows are python-sorted, and ``None``
+    is returned when even that fails (cross-type values with no ordering)
+    so callers can keep the per-row insert path, which never compares
+    values across tuples.
+    """
+    if not arrays or len(arrays[0]) == 0:
+        return []
+    if all(array.dtype.kind in _SORTABLE_KINDS for array in arrays):
+        # lexsort's *last* key is primary, so feed the columns reversed
+        order = np.lexsort(tuple(arrays[::-1]))
+        cols = [array[order] for array in arrays]
+        distinct = np.zeros(len(order) - 1, dtype=bool)
+        for col in cols:
+            distinct |= col[1:] != col[:-1]
+        if not distinct.all():
+            keep = np.empty(len(order), dtype=bool)
+            keep[0] = True
+            keep[1:] = distinct
+            cols = [col[keep] for col in cols]
+        return list(zip(*(col.tolist() for col in cols)))
+    try:
+        return sorted(set(zip(*(column.tolist() for column in arrays))))
+    except TypeError:
+        return None
+
+
 def sorted_value_array(values: "Iterable") -> np.ndarray:
     """``values`` (assumed distinct) as a sorted array.
 
@@ -105,6 +160,11 @@ class TupleIndex(abc.ABC):
     #: Every prefix-capable index still gets a (per-value) fallback batch
     #: cursor; this flag is what ``engine="auto"`` keys on.
     SUPPORTS_BATCH: ClassVar[bool] = False
+    #: does :meth:`build_bulk` take a vectorized columnar fast path?
+    #: Every index accepts ``build_bulk`` (the default re-rows the columns
+    #: and inserts per tuple); adapters consult this flag to decide whether
+    #: handing whole columns over is worth materializing them.
+    SUPPORTS_BULK_BUILD: ClassVar[bool] = False
 
     def __init__(self, arity: int):
         if arity < 1:
@@ -185,6 +245,25 @@ class TupleIndex(abc.ABC):
     def build(self, rows: Iterable[tuple]) -> None:
         """Build the index by inserting every row (the paper's build phase)."""
         for row in rows:
+            self.insert(row)
+
+    def build_bulk(self, columns: "Sequence") -> None:
+        """Build from per-component columns (the columnar build contract).
+
+        ``columns`` holds one equal-length sequence/array per component,
+        already permuted into this index's attribute order.  Set semantics
+        match :meth:`build`: duplicates collapse, values round-trip through
+        :func:`value_array` canonicalization.  The default re-rows the
+        columns and inserts per tuple; indexes advertising
+        :attr:`SUPPORTS_BULK_BUILD` override with a vectorized path.
+        """
+        self._insert_columns(bulk_columns(self.arity, columns))
+
+    def _insert_columns(self, arrays: "Sequence[np.ndarray]") -> None:
+        """Row-wise fallback shared by every ``build_bulk`` implementation."""
+        if not arrays or len(arrays[0]) == 0:
+            return
+        for row in zip(*(column.tolist() for column in arrays)):
             self.insert(row)
 
     def __len__(self) -> int:
@@ -538,14 +617,16 @@ class CursorBatchCursor(SyncedBatchCursor):
 
 
 class FallbackBatchCursor(BatchCursor):
-    """Per-value batch shim over any prefix-capable index.
+    """Batch shim over any prefix-capable index.
 
-    Correct for every :class:`TupleIndex` whose :meth:`~TupleIndex.has_prefix`
-    is exact (all registered structures except Sonic, which ships a native
-    kernel); probes loop in Python, so this preserves the level playing
-    field without pretending to vectorize.  Candidate arrays are memoized
-    per prefix like the native kernels' (the index is immutable during a
-    join).
+    Correct for every :class:`TupleIndex` whose prefix operations are
+    exact (all registered structures except Sonic, which ships a native
+    kernel).  Each visited node's distinct children are walked once
+    through ``iter_next_values`` and memoized as a sorted array (the
+    index is immutable during a join); ``probe_many`` then answers with
+    one vectorized binary search against that array instead of a
+    per-value ``has_prefix`` loop that re-probed the index from the
+    root for every candidate.
     """
 
     __slots__ = ("_index", "_memo", "_metrics")
@@ -572,18 +653,15 @@ class FallbackBatchCursor(BatchCursor):
         return array
 
     def probe_many(self, prefix: tuple, values: np.ndarray) -> np.ndarray:
+        array = self._memo.get(prefix)
+        if array is None:
+            array = sorted_value_array(self._index.iter_next_values(prefix))
+            self._memo[prefix] = array
         metrics = self._metrics
         if metrics.enabled:
-            # counted once per batch, outside the per-value shim loop
             metrics.inc("batch.probe_many")
             metrics.observe("batch.probe_many_size", values.size)
-        has_prefix = self._index.has_prefix
-        mask = np.empty(values.size, dtype=bool)
-        for position, value in enumerate(values.tolist()):
-            # the shim probes value-by-value by design; the extended
-            # prefix tuple is each probe's argument, not hoistable
-            mask[position] = has_prefix(prefix + (value,))  # repro: noqa[RA501]
-        return mask
+        return membership_mask(array, values)
 
     def count(self, prefix: tuple) -> int:
         return self._index.count_prefix(prefix)

@@ -28,6 +28,8 @@ from repro.indexes.base import (
     PrefixCursor,
     SyncedBatchCursor,
     TupleIndex,
+    bulk_columns,
+    sorted_unique_rows,
     value_array,
 )
 
@@ -37,6 +39,7 @@ class SortedTrie(TupleIndex):
 
     NAME: ClassVar[str] = "sortedtrie"
     SUPPORTS_BATCH: ClassVar[bool] = True
+    SUPPORTS_BULK_BUILD: ClassVar[bool] = True
 
     def __init__(self, arity: int):
         super().__init__(arity)
@@ -57,6 +60,30 @@ class SortedTrie(TupleIndex):
         row = self._check_row(row)
         self._pending.append(row)  # repro: noqa[RA703]
         self._dirty = True  # repro: noqa[RA703]
+
+    def build_bulk(self, columns) -> None:
+        """Columnar build: one vectorized sort straight into the base array.
+
+        §7's "sorting the input", done as input: the columns are lexsorted
+        and deduplicated in numpy and published as the frozen sorted base,
+        skipping the per-insert pending list and the merge flush entirely.
+        Falls back to per-row inserts when the trie already holds rows
+        (the merge flush handles that case correctly) or when the values
+        admit no total order.
+        """
+        arrays = bulk_columns(self.arity, columns)
+        rows = None
+        if not self._rows and not self._pending:
+            rows = sorted_unique_rows(arrays)
+        if rows is None:
+            self._insert_columns(arrays)
+            return
+        with self._flush_lock:
+            self._rows = rows
+            self._pending = []
+            self._size = len(rows)
+            self._batch_columns = None
+            self._dirty = False
 
     def _ensure_sorted(self) -> None:
         """Flush pending inserts into the sorted base array.

@@ -50,8 +50,8 @@ def _column_array(values: list) -> np.ndarray:
 class Relation:
     """A named collection of tuples over a schema (append-only mutation)."""
 
-    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays", "_version",
-                 "_mutlock")
+    __slots__ = ("name", "schema", "_rows", "_columns", "_arrays",
+                 "_dtype_classes", "_version", "_mutlock")
 
     def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[tuple]):
         if not isinstance(schema, Schema):
@@ -77,6 +77,7 @@ class Relation:
         # view invalidates every view's caches and fingerprint at once
         self._columns: dict[int, list] = {}       # repro: shared[lock=_mutlock]
         self._arrays: dict[int, np.ndarray] = {}  # repro: shared[lock=_mutlock]
+        self._dtype_classes: dict[int, str] = {}  # repro: shared[lock=_mutlock]
         self._version: list[int] = [0]            # repro: shared[lock=_mutlock]
 
     # ------------------------------------------------------------------
@@ -139,6 +140,26 @@ class Relation:
         """All columns as numpy arrays, in schema position order."""
         return tuple(self._array(i) for i in range(self.arity))
 
+    def column_dtype_class(self, attribute: str) -> str:
+        """``"int64"`` or ``"object"`` — the columnar-contract verdict.
+
+        The verdict is cached alongside the column array (one validation
+        pass per column per version, under the mutation lock), so kernel
+        callers can branch on the int64/object split without re-probing
+        the array's dtype, and renamed views agree by construction.
+        """
+        position = self.schema.position(attribute)
+        verdict = self._dtype_classes.get(position)
+        if verdict is None:
+            self._array(position)
+            verdict = self._dtype_classes[position]
+        return verdict
+
+    def dtype_classes(self) -> tuple[str, ...]:
+        """Per-column dtype-class verdicts, in schema position order."""
+        return tuple(self.column_dtype_class(attribute)
+                     for attribute in self.schema.attributes)
+
     def _array(self, position: int) -> np.ndarray:
         array = self._arrays.get(position)
         if array is None:
@@ -148,6 +169,11 @@ class Relation:
                     array = _column_array(
                         [row[position] for row in self._rows])
                     self._arrays[position] = array
+                    # the dtype-class verdict rides along with the array:
+                    # filled under the same lock, cleared by the same
+                    # extend(), shared by the same renamed views
+                    self._dtype_classes[position] = (
+                        "int64" if array.dtype == np.int64 else "object")
         return array
 
     # ------------------------------------------------------------------
@@ -199,6 +225,7 @@ class Relation:
             self._rows.extend(appended)
             self._columns.clear()
             self._arrays.clear()
+            self._dtype_classes.clear()
             self._version[0] += 1
 
     # ------------------------------------------------------------------
@@ -251,6 +278,7 @@ class Relation:
         # are shared — a write through any view is serialized with all
         view._columns = self._columns
         view._arrays = self._arrays
+        view._dtype_classes = self._dtype_classes
         view._version = self._version
         view._mutlock = self._mutlock
         return view

@@ -1,0 +1,8 @@
+"""Planted RA807: a kernel consumer ignoring the int64/object split."""
+
+import numpy as np
+
+
+def stats(relation, probes):
+    column = relation.column_array("a")
+    return np.searchsorted(np.sort(column), probes)

@@ -1,0 +1,8 @@
+"""Planted RA808: an array is materialised but only its size is read."""
+
+import numpy as np
+
+
+def summary(values):
+    snapshot = np.asarray(values).copy()
+    return len(snapshot)

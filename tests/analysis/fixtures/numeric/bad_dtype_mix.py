@@ -1,0 +1,9 @@
+"""Planted RA802: comparison across definite, different dtype classes."""
+
+import numpy as np
+
+
+def mix(count, labels):
+    ints = np.arange(count)
+    tags = np.asarray(labels, dtype=object)
+    return ints == tags

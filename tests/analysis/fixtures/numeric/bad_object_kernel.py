@@ -1,0 +1,8 @@
+"""Planted RA801: an object-dtype array reaches a searchsorted kernel."""
+
+import numpy as np
+
+
+def probe(values, needles):
+    keys = np.asarray(values, dtype=object)
+    return np.searchsorted(keys, needles)

@@ -1,0 +1,10 @@
+"""Planted RA806: per-tuple insert() loop on a bulk-capable index."""
+
+from repro.core import SonicIndex
+
+
+def build(rows):
+    index = SonicIndex(2)
+    for row in rows:
+        index.insert(row)
+    return index

@@ -1,0 +1,11 @@
+"""Planted RA804: per-element iteration over an array in hot scope."""
+
+import numpy as np
+
+
+def drain(batch):
+    values = np.asarray(batch)
+    total = 0
+    for value in values:
+        total += value
+    return total

@@ -1,0 +1,8 @@
+"""Planted RA805: a provably unsorted array flows into searchsorted."""
+
+import numpy as np
+
+
+def lookup(keys, probes):
+    haystack = np.concatenate((np.asarray(keys), np.asarray(probes)))
+    return np.searchsorted(haystack, probes)

@@ -1,0 +1,27 @@
+"""Vectorised counterexample: must stay free of RA8xx findings."""
+
+import numpy as np
+
+from repro.core import SonicIndex
+
+
+def canonical_keys(values):
+    try:
+        return np.asarray(values, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        keys = np.empty(len(values), dtype=object)
+        keys[:] = values
+        return keys
+
+
+def bulk_build(columns):
+    index = SonicIndex(len(columns))
+    index.build_bulk(columns)
+    return index
+
+
+def rank(relation, probes):
+    column = relation.column_array("a")
+    if column.dtype == np.int64:
+        return np.searchsorted(np.sort(column), probes)
+    return sorted(column.tolist())

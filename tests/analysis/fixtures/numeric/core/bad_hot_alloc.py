@@ -1,0 +1,15 @@
+"""Planted RA803: numpy allocation inside an innermost hot-path loop.
+
+Lives under a ``core/`` directory segment on purpose — the rule is
+scoped to the kernel directories via ``applies_to``.
+"""
+
+import numpy as np
+
+
+def widen(data, rounds):
+    rows = np.asarray(data)
+    out = []
+    for _ in range(rounds):
+        out.append(np.concatenate((rows, rows)))
+    return out

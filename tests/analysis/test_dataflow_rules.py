@@ -106,11 +106,14 @@ class TestTypestateDetection:
         assert {(f.rule, f.line) for f in findings} == {("RA404", 6)}
 
     def test_insert_before_handoff_is_clean(self):
+        # hashtrie: no vectorized build_bulk, so the per-tuple build loop
+        # is also outside RA806's scope — typestate is the only family
+        # with anything to say, and pre-handoff inserts are fine
         assert rules_at(
             "from repro.core.adapter import IndexAdapter\n"
             "from repro.indexes import make_index\n"
             "def f(rel, order, rows):\n"
-            "    idx = make_index('sortedtrie', 2)\n"
+            "    idx = make_index('hashtrie', 2)\n"
             "    for row in rows:\n"
             "        idx.insert(row)\n"
             "    return IndexAdapter(rel, idx, order)\n",
