@@ -21,10 +21,17 @@ paper-vs-measured record.
 
 from repro.core import SonicConfig, SonicIndex
 from repro.core.adapter import IndexAdapter
-from repro.engine import IndexCache, JoinPlan, PreparedJoin, Session
+from repro.engine import (
+    IndexCache,
+    JoinPlan,
+    PreparedJoin,
+    Session,
+    ShardingSpec,
+)
 from repro.errors import (
     CapacityError,
     ConfigurationError,
+    ExecutionError,
     PlanValidationError,
     QueryError,
     ReproError,
@@ -59,6 +66,7 @@ __all__ = [
     "CapacityError",
     "Catalog",
     "ConfigurationError",
+    "ExecutionError",
     "GenericJoin",
     "HashTrieJoin",
     "Hypergraph",
@@ -76,6 +84,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "Session",
+    "ShardingSpec",
     "SonicConfig",
     "SonicIndex",
     "UnsupportedOperationError",

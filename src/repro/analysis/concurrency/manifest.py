@@ -20,6 +20,14 @@ shared at runtime:
   from the prebuilt shared structures* it was constructed over (the
   ``self.X = param`` aliases recorded by
   :func:`constructor_aliases`), or module globals.
+* ``process`` — the entry runs in a shard worker process
+  (:mod:`repro.parallel.worker`).  Nothing is shared at runtime, so
+  the contract is *capture discipline* instead of locking: only
+  shared-memory handles and frozen plan decisions may cross the
+  boundary — the entry must not read or write mutable module globals
+  (which silently diverge between parent and workers) or module-level
+  locks (which neither survive a fork mid-acquire nor pickle into
+  spawn tasks).  Checked by :func:`classify_process_entry`.
 
 The static analysis is deliberately optimistic about calls it cannot
 resolve (an unknown callee is assumed not to mutate shared state);
@@ -77,6 +85,8 @@ ENTRY_TABLE: "tuple[tuple, ...]" = (
      "per-call", True),
     ("RecursiveJoin", ("run",), "src/repro/joins/recursive.py",
      "per-call", True),
+    (None, ("worker_main", "run_shard_task"),
+     "src/repro/parallel/worker.py", "process", True),
 )
 
 
@@ -133,6 +143,37 @@ def classify_free_function(func: ast.AST, model: ModuleModel):
         elif root in model.mutable_globals or root in declared:
             evidence.append(write)
     return (classify.UNSAFE if evidence else classify.REENTRANT), evidence
+
+
+def classify_process_entry(func: ast.AST, model: ModuleModel):
+    """``(classification, evidence writes, captured names)`` for a
+    process-boundary entry function.
+
+    A worker entry runs on the far side of a ``fork``/``spawn``: module
+    state it reaches is copied (fork) or re-imported (spawn), never
+    shared with the parent — so the contract is *capture discipline*,
+    not locking.  Unsafe when the entry reads or writes a module-level
+    mutable container (a registry would silently diverge between parent
+    and workers) or touches a module-level lock (lock state does not
+    survive a fork mid-acquire, and locks do not pickle into spawn
+    tasks).  Constants and locals are fine.
+    """
+    local, declared = function_locals(func)
+    evidence = []
+    for write in iter_writes(func, None, model):
+        root = write.key[0]
+        if root in model.mutable_globals or root in declared \
+                or root in model.lock_globals:
+            evidence.append(write)
+    loaded = {node.id for node in ast.walk(func)
+              if isinstance(node, ast.Name)
+              and isinstance(node.ctx, ast.Load)}
+    captured = sorted((loaded - local)
+                      & (set(model.mutable_globals)
+                         | model.lock_globals))
+    classification = (classify.UNSAFE if evidence or captured
+                      else classify.REENTRANT)
+    return classification, evidence, captured
 
 
 def _percall_writes(cls: ClassModel, name: str, model: ModuleModel,
@@ -230,11 +271,23 @@ def build_manifest(root: "str | Path | None" = None) -> dict:
                     entry["evidence"] = f"function {name} not found"
                     entries.append(entry)
                     continue
-                classification, writes = classify_free_function(func, model)
-                evidence = ("pure function of its inputs (no parameter or "
-                            "global mutation)" if classification ==
-                            classify.REENTRANT else
-                            "mutates a parameter or module global")
+                if exec_model == "process":
+                    classification, writes, captured = \
+                        classify_process_entry(func, model)
+                    evidence = (
+                        "captures no mutable or lock-bearing module "
+                        "state; only handles and plan decisions cross "
+                        "the process boundary" if classification ==
+                        classify.REENTRANT else
+                        "captures module state that does not survive "
+                        f"the process boundary: {', '.join(captured) or 'writes below'}")
+                else:
+                    classification, writes = classify_free_function(func,
+                                                                    model)
+                    evidence = ("pure function of its inputs (no parameter "
+                                "or global mutation)" if classification ==
+                                classify.REENTRANT else
+                                "mutates a parameter or module global")
             entry["classification"] = classification
             entry["writes"] = [_write_dict(w) for w in writes]
             entry["evidence"] = evidence
@@ -277,8 +330,8 @@ def validate_manifest(data: dict) -> list[str]:
             problems.append(
                 f"{where}.classification {entry.get('classification')!r} "
                 f"not in {sorted(valid)}")
-        if entry.get("model") not in ("shared", "per-call"):
-            problems.append(f"{where}.model must be shared|per-call")
+        if entry.get("model") not in ("shared", "per-call", "process"):
+            problems.append(f"{where}.model must be shared|per-call|process")
         if not isinstance(entry.get("writes"), list):
             problems.append(f"{where}.writes missing or not a list")
     return problems

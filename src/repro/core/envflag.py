@@ -32,6 +32,32 @@ def resolve_flag(explicit: "bool | None", env_name: str,
     return env_flag(env_name, default)
 
 
+def env_int(name: str, default: int = 0) -> int:
+    """Integer environment knob: unset/empty means ``default``.
+
+    A non-integer spelling raises ``ValueError`` naming the variable —
+    a silently-ignored ``REPRO_WORKERS=four`` would masquerade as the
+    single-process default.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw, 10)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not an integer"
+        ) from None
+
+
+def resolve_int(explicit: "int | None", env_name: str,
+                default: int = 0) -> int:
+    """The explicit argument when given, else the environment knob."""
+    if explicit is not None:
+        return explicit
+    return env_int(env_name, default)
+
+
 def env_str(name: str, default: str = "") -> str:
     """String environment knob, stripped; empty/unset means ``default``."""
     raw = os.environ.get(name, "").strip()

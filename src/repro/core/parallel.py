@@ -16,8 +16,12 @@ is not observable here; what *is* faithfully reproduced and measured is
 the locking protocol (correctness under concurrency is tested by building
 the same relation sequentially and in parallel and comparing contents) and
 the contention profile (lock acquisitions per stripe), which
-:mod:`repro.hardware.cost_model` converts into the simulated thread
-scaling that the Fig 16 bench reports.  See DESIGN.md §1.
+:mod:`repro.hardware.cost_model` converts into simulated thread scaling.
+This module is therefore **protocol-only**: the repo's canonical
+measured parallel numbers are the multiprocess sharded execution path
+(:mod:`repro.parallel`, ``join(..., parallel=K)``), which escapes the
+GIL entirely and whose wall-clock scaling is recorded in the
+``parallel`` section of ``BENCH_generic_join.json``.  See DESIGN.md §1.
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ from repro.engine.ir import (
     BoundQuery,
     IndexSpec,
     JoinPlan,
+    ShardingSpec,
     canonical_options,
 )
 from repro.engine.pipeline import ALGORITHMS, ENGINES, bind, plan, prepare
@@ -40,6 +41,7 @@ __all__ = [
     "JoinPlan",
     "PreparedJoin",
     "Session",
+    "ShardingSpec",
     "TUPLESET_KIND",
     "bind",
     "canonical_options",

@@ -72,6 +72,29 @@ class IndexSpec:
 
 
 @dataclass(frozen=True)
+class ShardingSpec:
+    """Multiprocess sharded execution of an otherwise ordinary plan.
+
+    Generic Join partitions cleanly on the first attribute of the total
+    order: every result tuple binds that attribute to exactly one value,
+    so hashing the value into one of ``workers`` shards splits the
+    result set into disjoint pieces.  Atoms whose relation carries the
+    attribute are filtered to their shard; atoms that never bind it are
+    replicated to every shard.  The spec is inert plan data, like
+    :class:`IndexSpec` — the prepare stage partitions the relations'
+    column arrays into shared memory (:mod:`repro.parallel`), and the
+    execute stage fans the per-shard work out to a worker pool.
+    """
+
+    workers: int
+    attribute: str
+    scheme: str = "hash"
+
+    def describe(self) -> str:
+        return f"sharded[{self.workers}x{self.attribute}/{self.scheme}]"
+
+
+@dataclass(frozen=True)
 class JoinPlan:
     """The compiled plan: everything execution needs except built indexes.
 
@@ -92,6 +115,7 @@ class JoinPlan:
     index_specs: tuple[IndexSpec, ...] = ()
     dynamic_seed: bool = True
     choice: "PlanChoice | None" = None
+    sharding: "ShardingSpec | None" = None
 
     def spec_for(self, alias: str) -> IndexSpec:
         """The :class:`IndexSpec` prepared for atom ``alias``."""
@@ -111,6 +135,8 @@ class JoinPlan:
             head += f" order={','.join(self.total_order)}"
         if self.atom_order:
             head += f" atoms={','.join(self.atom_order)}"
+        if self.sharding is not None:
+            head += f" {self.sharding.describe()}"
         return head
 
 

@@ -37,6 +37,7 @@ instead, generic-only options are unused, exactly as in the seed.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from dataclasses import replace
 
 from repro.analysis.plancheck import check_join_plan, check_plan
 from repro.core.adapter import IndexAdapter
@@ -49,6 +50,7 @@ from repro.engine.ir import (
     BoundQuery,
     IndexSpec,
     JoinPlan,
+    ShardingSpec,
     canonical_options,
 )
 from repro.engine.prepared import PreparedJoin
@@ -106,7 +108,8 @@ def plan(bound: BoundQuery,
          dynamic_seed: bool = True,
          debug: "bool | None" = None,
          obs=None,
-         index_kwargs: "Mapping[str, object] | None" = None) -> JoinPlan:
+         index_kwargs: "Mapping[str, object] | None" = None,
+         parallel: "int | None" = None) -> JoinPlan:
     """The plan stage: a bound query → a fully-resolved :class:`JoinPlan`.
 
     Runs the hybrid optimizer when ``algorithm="auto"`` or the observer
@@ -115,6 +118,15 @@ def plan(bound: BoundQuery,
     index options against the resolved algorithm, and emits one
     :class:`~repro.engine.ir.IndexSpec` per supporting structure.  The
     plan is inert — nothing is built until :func:`prepare`.
+
+    ``parallel`` (default: the ``REPRO_WORKERS`` environment variable;
+    0 / unset means single-process) plants a
+    :class:`~repro.engine.ir.ShardingSpec` on the plan: the prepare
+    stage then partitions the relations into that many shared-memory
+    shards on the plan's leading attribute, and execution fans out to a
+    worker-process pool (:mod:`repro.parallel`).  ``parallel=1`` is a
+    valid degenerate fleet — one worker process, useful as the
+    like-for-like baseline when measuring fan-out speedup.
     """
     observer = obs if obs is not None else NULL_OBSERVER
     if algorithm not in ALGORITHMS:
@@ -161,9 +173,26 @@ def plan(bound: BoundQuery,
                                         choice)
             else:
                 result = _plan_recursive(query, total, dynamic_seed, choice)
+        workers = _resolve_workers(parallel)
+        if workers:
+            # shard on the leading attribute: every result tuple binds
+            # it to exactly one value, so shard results are disjoint
+            attribute = (result.total_order[0] if result.total_order
+                         else connectivity_order(query)[0])
+            result = replace(result, sharding=ShardingSpec(
+                workers=workers, attribute=attribute))
         if debug_on:
             check_join_plan(result, relations=relations)
     return result
+
+
+def _resolve_workers(parallel: "int | None") -> int:
+    # imported lazily: repro.parallel sits beside the engine and its
+    # worker module re-enters this pipeline inside worker processes,
+    # so the module-scope dependency stays one-directional
+    from repro.parallel.pool import resolve_workers
+
+    return resolve_workers(parallel)
 
 
 def prepare(bound: BoundQuery, join_plan: JoinPlan,
@@ -189,6 +218,9 @@ def prepare(bound: BoundQuery, join_plan: JoinPlan,
     observer = obs if obs is not None else NULL_OBSERVER
     obs_enabled = observer.enabled
     use_cache = cache is not None and cache.enabled
+    if join_plan.sharding is not None:
+        return _prepare_sharded(bound, join_plan, cache if use_cache else None,
+                                observer)
     structures: dict[str, object] = {}
     watch = Stopwatch()
     with observer.tracer.span("prepare"):
@@ -227,6 +259,74 @@ def prepare(bound: BoundQuery, join_plan: JoinPlan,
             structures[spec.alias] = structure
     build_seconds = watch.lap()
     return PreparedJoin(bound, join_plan, structures, build_seconds)
+
+
+def _prepare_sharded(bound: BoundQuery, join_plan: JoinPlan,
+                     cache: "IndexCache | None", observer) -> PreparedJoin:
+    """The prepare stage for a sharded plan: partition, don't build.
+
+    Indexes are built *inside the workers* (each over its shard, via
+    the same bulk-build prepare path); what the parent prepares — and
+    what the session cache holds under the usual fingerprint×options
+    key — is the :class:`~repro.parallel.shm.ShardedColumns` transport:
+    each relation's column arrays hash-partitioned into shared memory.
+    The cache suffix pins the scheme, worker count and the partition
+    attribute's *storage position* (renamed views share fingerprints,
+    so position — not name — is the stable part), meaning plans that
+    shard the same storage the same way share one partitioning.
+    """
+    # lazy import, same one-directional rationale as _resolve_workers
+    from repro.parallel.partition import build_sharded_columns
+
+    obs_enabled = observer.enabled
+    use_cache = cache is not None
+    sharding = join_plan.sharding
+    structures: dict[str, object] = {}
+    local: dict[tuple, object] = {}
+    watch = Stopwatch()
+    with observer.tracer.span("prepare"):
+        # every atom ships to the workers — not just index_specs, which
+        # for a binary plan omit the first atom (the probe side)
+        for atom in join_plan.query.atoms:
+            relation = bound.relations[atom.alias]
+            position = (relation.schema.position(sharding.attribute)
+                        if sharding.attribute in relation.schema else None)
+            suffix = ("shards", sharding.scheme, sharding.workers, position)
+            key = None
+            if use_cache:
+                key = cache.key_for(relation, suffix)
+                columns = cache.get(key)
+                if obs_enabled:
+                    observer.metrics.inc(
+                        "cache.hit" if columns is not None else "cache.miss")
+            else:
+                # the cold path still shares one partitioning between
+                # self-join aliases of the same storage within this call
+                columns = local.get((relation.fingerprint(), suffix))
+            if columns is None:
+                if obs_enabled:
+                    build_t0 = Stopwatch.now_ns()
+                columns = build_sharded_columns(relation, position,
+                                                sharding.workers)
+                if obs_enabled:
+                    duration = Stopwatch.now_ns() - build_t0
+                    observer.tracer.add_span(
+                        "partition_shards", build_t0, duration,
+                        alias=atom.alias, workers=sharding.workers,
+                        tuples=len(relation))
+                if key is not None:
+                    published = cache.put_if_absent(
+                        key, columns, estimate_structure_bytes(
+                            columns, len(relation), relation.arity))
+                    if published is not columns:
+                        columns.close()  # lost the CAS: adopt the winner
+                        columns = published
+                else:
+                    local[(relation.fingerprint(), suffix)] = columns
+            structures[atom.alias] = columns
+    build_seconds = watch.lap()
+    return PreparedJoin(bound, join_plan, structures, build_seconds,
+                        owned_shards=not use_cache)
 
 
 # ----------------------------------------------------------------------

@@ -44,7 +44,8 @@ class PreparedJoin:
     """An executable join with its supporting structures already built."""
 
     def __init__(self, bound: BoundQuery, plan: JoinPlan,
-                 structures: dict[str, object], build_seconds: float):
+                 structures: dict[str, object], build_seconds: float,
+                 owned_shards: bool = False):
         self.bound = bound
         self.plan = plan
         self.structures = structures
@@ -52,6 +53,10 @@ class PreparedJoin:
         self.build_seconds = build_seconds
         self.executions = 0
         self._pending_build = build_seconds
+        #: sharded plans only: does close() own the shared-memory
+        #: segments (cold path), or does the session cache (warm path)?
+        self._owned_shards = owned_shards
+        self._runner = None
         self._assemble()
 
     # ------------------------------------------------------------------
@@ -59,6 +64,14 @@ class PreparedJoin:
         """Driver-ready views over the built structures (cheap wrappers)."""
         plan, relations = self.plan, self.bound.relations
         algorithm = plan.algorithm
+        if plan.sharding is not None:
+            # imported lazily — repro.parallel's worker re-enters the
+            # engine pipeline, so module scope stays one-directional
+            from repro.parallel.runner import ShardedRunner
+
+            self._runner = ShardedRunner(self.bound, plan, self.structures,
+                                         owned=self._owned_shards)
+            return
         if algorithm in ("generic", "hashtrie"):
             # adapters are stateless (relation, index, permutation)
             # wrappers: constructing them does not build anything
@@ -112,6 +125,13 @@ class PreparedJoin:
         bound, plan = self.bound, self.plan
         query, relations = bound.query, bound.relations
 
+        if plan.sharding is not None:
+            result = self._runner.execute(materialize=materialize,
+                                          obs=observer, build_charge=charge)
+            return attach_profile(query, result, observer, plan.choice,
+                                  result.attributes,
+                                  engine=plan.engine or None,
+                                  trace_out=trace_out)
         if plan.algorithm == "binary":
             driver = BinaryHashJoin(
                 query, relations, order=list(plan.atom_order), obs=observer,
@@ -146,6 +166,22 @@ class PreparedJoin:
         result = driver.run(materialize=materialize)
         return attach_profile(query, result, observer, plan.choice, order,
                               engine=engine, trace_out=trace_out)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release execution resources (idempotent; no-op when there are
+        none).  A sharded prepared join shuts its worker pool down and —
+        on the cold path, where no session cache co-owns them — unlinks
+        the shared-memory shard segments.  Ordinary prepared joins hold
+        nothing that needs releasing."""
+        if self._runner is not None:
+            self._runner.close()
+
+    def __enter__(self) -> "PreparedJoin":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def explain(self) -> str:

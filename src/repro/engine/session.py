@@ -86,6 +86,7 @@ class Session:
                 debug: "bool | None" = None,
                 profile: "bool | None" = None,
                 obs=None,
+                parallel: "int | None" = None,
                 **index_kwargs) -> PreparedJoin:
         """Compile a query down to a :class:`PreparedJoin` (warm path).
 
@@ -93,6 +94,14 @@ class Session:
         the return value (executable many times) and the build route —
         every index spec goes through the session cache, so repeated
         prepares over unchanged relations skip the build entirely.
+
+        With ``parallel=K`` (or ``REPRO_WORKERS``), what the cache
+        holds per relation is the shared-memory shard partitioning
+        (:class:`~repro.parallel.shm.ShardedColumns`) instead of a
+        built index — the per-shard index builds happen inside worker
+        processes.  Call :meth:`PreparedJoin.close` on a sharded
+        prepared join to stop its worker pool; the cached segments
+        themselves are released when their cache entries age out.
         """
         if obs is not None:
             observer = obs
@@ -104,7 +113,7 @@ class Session:
         join_plan = plan(bound, algorithm=algorithm, index=index, order=order,
                          binary_order=binary_order, engine=engine,
                          dynamic_seed=dynamic_seed, debug=debug, obs=observer,
-                         index_kwargs=index_kwargs)
+                         index_kwargs=index_kwargs, parallel=parallel)
         return prepare(bound, join_plan, cache=self.cache, obs=observer)
 
     def execute(self, query: "JoinQuery | str",
@@ -119,8 +128,14 @@ class Session:
         prepare-time snapshot).
         """
         prepared = self.prepare(query, **kwargs)
-        return prepared.execute(materialize=materialize,
-                                trace_out=trace_out)
+        try:
+            return prepared.execute(materialize=materialize,
+                                    trace_out=trace_out)
+        finally:
+            # one-shot semantics: a sharded prepared join must not leak
+            # its worker pool (no-op for ordinary plans); hold on to a
+            # PreparedJoin from prepare() to keep a pool warm instead
+            prepared.close()
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> CacheStats:

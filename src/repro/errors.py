@@ -60,6 +60,16 @@ class PlanValidationError(QueryError):
     """
 
 
+class ExecutionError(ReproError):
+    """A join failed at execution time, outside the caller's plan inputs.
+
+    Raised by the multiprocess sharded executor (:mod:`repro.parallel`)
+    when a shard worker dies, times out, or reports a task failure — the
+    worker-side traceback rides along in the message.  Distinct from
+    :class:`ConfigurationError`: the plan was valid, the run broke.
+    """
+
+
 class UnsupportedOperationError(ReproError):
     """An index was asked for an operation it does not support.
 

@@ -21,6 +21,14 @@ numbers.  The model is standard:
 The defaults reproduce Fig 16's qualitative shape: ~7–8× at 10 threads,
 a dip/flattening right after 10, and the paper's observation that a lock
 granularity of 8192 stays within 30 % of the best granularity.
+
+These numbers are **simulated, protocol-only** figures.  Since the
+multiprocess sharded execution path landed (:mod:`repro.parallel`,
+``join(..., parallel=K)``), the repo's canonical measured parallel
+figure is that path's wall-clock scaling, recorded in the ``parallel``
+section of ``BENCH_generic_join.json``; this model remains only to
+extrapolate the *intra-build locking* behaviour of hardware the GIL
+hides (thread counts, NUMA), which process sharding does not model.
 """
 
 from __future__ import annotations

@@ -183,6 +183,7 @@ def join(query: "JoinQuery | str",
          profile: "bool | None" = None,
          obs: "JoinObserver | None" = None,
          trace_out: "str | None" = None,
+         parallel: "int | None" = None,
          **index_kwargs) -> JoinResult:
     """Plan, build and execute a join query; returns a :class:`JoinResult`.
 
@@ -219,6 +220,19 @@ def join(query: "JoinQuery | str",
     execution, raising :class:`~repro.errors.PlanValidationError`
     instead of silently executing a malformed plan.
 
+    ``parallel`` (default: the ``REPRO_WORKERS`` environment variable;
+    0 / unset keeps the single-process path) runs the join as ``K``
+    hash-sharded worker processes over shared-memory columns
+    (:mod:`repro.parallel`): the plan gains a
+    :class:`~repro.engine.ir.ShardingSpec` on its leading attribute,
+    relations are partitioned into ``/dev/shm`` during prepare, and
+    each worker runs the same staged pipeline over its shard before
+    the results are merged deterministically.  Counts and rows are
+    identical to the single-process run; the worker pool and shared
+    memory are torn down before this function returns (one-shot
+    semantics — use :meth:`repro.engine.Session.prepare` with
+    ``parallel=K`` to keep a pool warm across executions).
+
     ``profile`` (default: the ``REPRO_PROFILE`` environment variable)
     runs the join under a live :class:`~repro.obs.observer.JoinObserver`
     and attaches the EXPLAIN ANALYZE report to ``result.profile`` (a
@@ -249,10 +263,15 @@ def join(query: "JoinQuery | str",
     join_plan = plan(bound, algorithm=algorithm, index=index, order=order,
                      binary_order=binary_order, engine=engine,
                      dynamic_seed=dynamic_seed, debug=debug, obs=observer,
-                     index_kwargs=index_kwargs)
+                     index_kwargs=index_kwargs, parallel=parallel)
     prepared = prepare(bound, join_plan, cache=None, obs=observer)
-    return prepared.execute(materialize=materialize, obs=observer,
-                            trace_out=trace_out)
+    try:
+        return prepared.execute(materialize=materialize, obs=observer,
+                                trace_out=trace_out)
+    finally:
+        # releases the worker pool and shared memory of a sharded run;
+        # a no-op for ordinary single-process plans
+        prepared.close()
 
 
 def triangle_count(edges: Relation, algorithm: str = "generic",

@@ -1,0 +1,166 @@
+"""A small long-lived pool of shard worker processes.
+
+One :class:`WorkerPool` owns K processes, each running
+:func:`repro.parallel.worker.worker_main` over a private duplex pipe.
+Tasks are dispatched round-robin (shard ``i`` → worker ``i % K``; with
+the usual one-task-per-worker fan-out that is an exact assignment) and
+results collected in task order, so the merge layer sees a
+deterministic sequence regardless of worker finishing order.
+
+The start method comes from ``REPRO_MP_START`` when set, else ``fork``
+where available (cheap on Linux — workers inherit the imported engine)
+with ``spawn`` as the portable fallback.  Workers are daemons: an
+abandoned pool cannot outlive its parent.  A worker death or task
+timeout surfaces as :class:`~repro.errors.ExecutionError` carrying the
+worker-side traceback when there is one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.core.envflag import env_int, env_str
+from repro.errors import ConfigurationError, ExecutionError
+from repro.parallel.worker import worker_main
+
+#: seconds the parent waits on one shard result before giving up
+DEFAULT_TASK_TIMEOUT = 300.0
+
+
+def resolve_workers(parallel: "int | None") -> int:
+    """The effective worker count: explicit arg wins, else ``REPRO_WORKERS``.
+
+    Returns 0 for "no sharding" (the single-process path); explicit
+    non-positive values other than 0/None are configuration errors.
+    """
+    workers = parallel if parallel is not None else env_int("REPRO_WORKERS", 0)
+    if workers is None or workers == 0:
+        return 0
+    if workers < 0:
+        raise ConfigurationError(
+            f"parallel={workers}: worker count must be >= 1")
+    return int(workers)
+
+
+def start_method() -> str:
+    """The multiprocessing start method the pool will use."""
+    explicit = env_str("REPRO_MP_START")
+    if explicit:
+        return explicit
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class WorkerPool:
+    """K worker processes answering shard tasks over private pipes."""
+
+    def __init__(self, workers: int, method: "str | None" = None):
+        if workers < 1:
+            raise ConfigurationError(
+                f"worker pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.method = method or start_method()
+        context = mp.get_context(self.method)
+        self._processes = []
+        self._connections = []
+        for i in range(workers):
+            parent_end, child_end = context.Pipe(duplex=True)
+            process = context.Process(target=worker_main, args=(child_end,),
+                                      name=f"repro-shard-{i}", daemon=True)
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._connections.append(parent_end)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: "list[dict]",
+            timeout: "float | None" = None) -> "list[dict]":
+        """Dispatch tasks round-robin, return results in task order.
+
+        Task payloads are small (handles and plan decisions), so every
+        task is sent before any result is read — the pipe buffer
+        comfortably holds the requests while workers stream answers.
+        """
+        if self._closed:
+            raise ExecutionError("worker pool is closed")
+        if timeout is None:
+            timeout = float(env_int("REPRO_SHARD_TIMEOUT",
+                                    int(DEFAULT_TASK_TIMEOUT)))
+        assignment = [[] for _ in range(self.workers)]
+        for position, task in enumerate(tasks):
+            assignment[position % self.workers].append(position)
+        for worker_id, positions in enumerate(assignment):
+            for position in positions:
+                try:
+                    self._connections[worker_id].send(("run", tasks[position]))
+                except (BrokenPipeError, OSError):
+                    exitcode = self._processes[worker_id].exitcode
+                    self.close()
+                    raise ExecutionError(
+                        f"shard worker {worker_id} died (exitcode "
+                        f"{exitcode}) before accepting a task") from None
+        results: "list[dict | None]" = [None] * len(tasks)
+        for worker_id, positions in enumerate(assignment):
+            for position in positions:
+                results[position] = self._collect(worker_id, timeout)
+        failures = [r for r in results if not r.get("ok")]
+        if failures:
+            first = failures[0]
+            detail = first.get("traceback") or first.get("error", "unknown")
+            raise ExecutionError(
+                f"shard {first.get('shard')} failed in worker process:\n"
+                f"{detail}")
+        return results  # type: ignore[return-value]
+
+    def _collect(self, worker_id: int, timeout: float) -> dict:
+        connection = self._connections[worker_id]
+        if not connection.poll(timeout):
+            self.close()
+            raise ExecutionError(
+                f"shard worker {worker_id} produced no result within "
+                f"{timeout:.0f}s (REPRO_SHARD_TIMEOUT)")
+        try:
+            return connection.recv()
+        except (EOFError, OSError):
+            exitcode = self._processes[worker_id].exitcode
+            self.close()
+            raise ExecutionError(
+                f"shard worker {worker_id} died (exitcode {exitcode}) "
+                "before answering") from None
+
+    # ------------------------------------------------------------------
+    def alive(self) -> bool:
+        return (not self._closed
+                and all(p.is_alive() for p in self._processes))
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._connections:
+            try:
+                connection.send(("shutdown", None))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self.workers} workers"
+        return f"WorkerPool({state}, method={self.method!r})"

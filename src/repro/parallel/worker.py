@@ -1,0 +1,222 @@
+"""The shard worker: runs one shard of a sharded plan per task.
+
+Everything in this module runs **inside a worker process**.  The
+process boundary is deliberately narrow: a task carries shared-memory
+column handles, the query text, and the frozen plan decisions
+(algorithm / index / engine / orders / options) — never a live index,
+relation, driver, or lock.  The worker maps the columns, rebuilds
+per-shard relations, and runs the **standard** staged pipeline
+(:mod:`repro.engine.pipeline`) end to end, so a shard executes exactly
+the code path the single-process engine does — which is what makes the
+shard-equivalence property tests meaningful.
+
+Entry points (:func:`worker_main`, :func:`run_shard_task`) are plain
+module-level functions that capture no module state, so they survive
+both ``fork`` and ``spawn`` start methods and pickle cleanly; the
+process-model rows of the concurrency manifest
+(``python -m repro.analysis --concurrency-manifest``) verify that
+contract statically.
+
+Workers keep a small LRU of prepared state keyed on the task's
+segment-name signature: re-executing an unchanged sharded plan (the
+session warm path) skips the attach/build work the same way the
+parent's index cache does.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.parallel.shm import ColumnHandle, attach_array
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+#: prepared-state entries one worker keeps alive (per process, LRU)
+STATE_CACHE_ENTRIES = 8
+
+
+class _ColumnRows:
+    """Lazy read-only row view over attached column arrays.
+
+    Fills the ``Relation._rows`` slot of a worker-side relation: the
+    drivers only iterate, measure and (rarely) membership-test rows,
+    so tuples are materialized on demand from the columns instead of
+    being shipped across the process boundary.
+    """
+
+    __slots__ = ("_arrays", "_length", "_materialized")
+
+    def __init__(self, arrays: "tuple[np.ndarray, ...]", length: int):
+        self._arrays = arrays
+        self._length = length
+        self._materialized: "list[tuple] | None" = None
+
+    def _rows(self) -> "list[tuple]":
+        rows = self._materialized
+        if rows is None:
+            columns = [array.tolist() for array in self._arrays]
+            rows = list(zip(*columns)) if columns else []
+            self._materialized = rows
+        return rows
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return iter(self._rows())
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows()
+
+    def __getitem__(self, item):
+        return self._rows()[item]
+
+
+def relation_from_handles(name: str, attributes: "tuple[str, ...]",
+                          handles: "tuple[ColumnHandle, ...]",
+                          ) -> "tuple[Relation, list]":
+    """Reconstruct one shard relation from its column handles.
+
+    Returns the relation plus the attached ``SharedMemory`` objects,
+    which must stay referenced for as long as the relation is used
+    (the arrays borrow their buffers).
+    """
+    arrays = []
+    attachments = []
+    for handle in handles:
+        array, shm = attach_array(handle)
+        arrays.append(array)
+        if shm is not None:
+            attachments.append(shm)
+    length = handles[0].length if handles else 0
+    relation = Relation.__new__(Relation)
+    relation.name = name
+    relation.schema = Schema(attributes)
+    relation._mutlock = threading.Lock()
+    relation._rows = _ColumnRows(tuple(arrays), length)
+    relation._columns = {}
+    relation._arrays = {i: array for i, array in enumerate(arrays)}
+    relation._dtype_classes = {
+        i: ("int64" if array.dtype == np.int64 else "object")
+        for i, array in enumerate(arrays)
+    }
+    relation._version = [0]
+    return relation, attachments
+
+
+def _prepare_task(task: dict) -> "tuple[object, list]":
+    """bind → plan → prepare for one shard; returns prepared state."""
+    # imported here, not at module level: the engine pipeline is the
+    # parent-facing layer above this package, and the import must stay
+    # one-directional (pipeline → runner → worker) at module scope
+    from repro.engine.pipeline import bind, plan, prepare
+
+    relations = {}
+    attachments: list = []
+    for alias, spec in task["relations"].items():
+        relation, attached = relation_from_handles(
+            spec["name"], tuple(spec["attributes"]),
+            tuple(spec["handles"]))
+        relations[alias] = relation
+        attachments.extend(attached)
+    bound = bind(task["query"], relations)
+    join_plan = plan(
+        bound,
+        algorithm=task["algorithm"],
+        index=task["index"] or "sonic",
+        order=tuple(task["order"]) if task["order"] else None,
+        binary_order=(tuple(task["atom_order"])
+                      if task["atom_order"] else None),
+        engine=task["engine"] or "tuple",
+        dynamic_seed=task["dynamic_seed"],
+        index_kwargs=task["index_kwargs"] or None,
+        # a shard always runs single-process: without the explicit 0 an
+        # inherited REPRO_WORKERS would shard the shard, recursively
+        parallel=0,
+    )
+    prepared = prepare(bound, join_plan, cache=None)
+    return prepared, attachments
+
+
+def run_shard_task(task: dict, state_cache: "OrderedDict | None" = None,
+                   ) -> dict:
+    """Execute one shard task; returns a picklable result dict.
+
+    ``state_cache`` (signature → prepared state) lets a long-lived
+    worker reuse the attach/build work across repeat executions of the
+    same sharded plan; evicted entries close their shared-memory
+    attachments.  Pass ``None`` for one-shot execution.
+    """
+    from repro.obs.observer import JoinObserver
+
+    signature = task["signature"]
+    entry = state_cache.get(signature) if state_cache is not None else None
+    if entry is not None:
+        state_cache.move_to_end(signature)
+    else:
+        entry = _prepare_task(task)
+        if state_cache is not None:
+            state_cache[signature] = entry
+            while len(state_cache) > STATE_CACHE_ENTRIES:
+                _, (_, old_attachments) = state_cache.popitem(last=False)
+                for shm in old_attachments:
+                    shm.close()
+    prepared, _attachments = entry
+
+    observer = JoinObserver() if task["with_counters"] else None
+    result = prepared.execute(materialize=task["materialize"], obs=observer)
+    metrics = result.metrics
+    response = {
+        "ok": True,
+        "shard": task["shard"],
+        "count": result.count,
+        "rows": result.rows if task["materialize"] else None,
+        "attributes": tuple(result.attributes),
+        "algorithm": metrics.algorithm,
+        "build_s": metrics.build_seconds,
+        "probe_s": metrics.probe_seconds,
+        "lookups": metrics.lookups,
+        "intermediates": metrics.intermediate_tuples,
+        "counters": (dict(observer.metrics.counters)
+                     if observer is not None else None),
+    }
+    return response
+
+
+def worker_main(conn) -> None:
+    """One worker process's request loop (the pool's process target).
+
+    Receives ``("run", task)`` messages on ``conn``, answers with
+    result dicts, and exits on ``("shutdown", None)`` or a closed pipe.
+    A failing task is reported (with its traceback) instead of killing
+    the worker; only the connection itself failing ends the loop.
+    """
+    state_cache: OrderedDict = OrderedDict()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not message or message[0] == "shutdown":
+                break
+            _, task = message
+            try:
+                response = run_shard_task(task, state_cache)
+            except BaseException as exc:  # report, don't die
+                response = {
+                    "ok": False,
+                    "shard": task.get("shard"),
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                }
+            conn.send(response)
+    finally:
+        for _, attachments in state_cache.values():
+            for shm in attachments:
+                shm.close()
+        conn.close()

@@ -10,6 +10,7 @@ from repro.analysis.concurrency.manifest import (
     ENTRY_TABLE,
     build_manifest,
     classify_free_function,
+    classify_process_entry,
     constructor_aliases,
     failing_entries,
     validate_manifest,
@@ -60,6 +61,17 @@ class TestManifestContents:
     def test_no_required_entry_fails(self, manifest):
         assert failing_entries(manifest) == []
 
+    def test_worker_entries_process_clean(self, manifest):
+        # the worker boundary: only shared-memory handles and frozen
+        # plan decisions cross; entries capture no module state that
+        # would diverge between parent and workers
+        by_name = {e["qualname"]: e for e in manifest["entries"]}
+        for qualname in ("worker_main", "run_shard_task"):
+            entry = by_name[qualname]
+            assert entry["model"] == "process"
+            assert entry["classification"] == "reentrant", qualname
+            assert entry["writes"] == []
+
     def test_no_entry_is_unknown(self, manifest):
         # "unknown" means the table references a renamed/removed symbol
         assert [e["qualname"] for e in manifest["entries"]
@@ -78,6 +90,15 @@ class TestManifestValidation:
         problems = validate_manifest({"schema_version": 99, "entries": []})
         assert any("schema_version" in p for p in problems)
         assert any("entries" in p for p in problems)
+
+    def test_rejects_unknown_model(self):
+        problems = validate_manifest({
+            "schema_version": 1,
+            "entries": [{"qualname": "X.y", "path": "x.py",
+                         "model": "thread", "classification": "reentrant",
+                         "writes": []}],
+        })
+        assert any("shared|per-call|process" in p for p in problems)
 
     def test_rejects_bad_classification(self):
         problems = validate_manifest({
@@ -119,6 +140,52 @@ class TestClassifiers:
                   "        self.bindings = {}\n")
         model = parse_module(ast.parse(source), source)
         assert constructor_aliases(model.classes["D"]) == {"adapters"}
+
+    def test_process_entry_capturing_registry_unsafe(self):
+        source = ("REGISTRY = {}\n"
+                  "def worker(conn):\n"
+                  "    REGISTRY['pid'] = conn\n")
+        model = parse_module(ast.parse(source), source)
+        classification, writes, captured = classify_process_entry(
+            model.functions["worker"], model)
+        assert classification == "unsafe"
+        assert captured == ["REGISTRY"]
+
+    def test_process_entry_reading_mutable_global_unsafe(self):
+        # even a read-only capture diverges: fork copies the registry,
+        # spawn re-imports an empty one
+        source = ("CACHE = {}\n"
+                  "def worker(conn):\n"
+                  "    return CACHE.get('x')\n")
+        model = parse_module(ast.parse(source), source)
+        classification, _, captured = classify_process_entry(
+            model.functions["worker"], model)
+        assert classification == "unsafe"
+        assert captured == ["CACHE"]
+
+    def test_process_entry_capturing_lock_unsafe(self):
+        source = ("import threading\n"
+                  "LOCK = threading.Lock()\n"
+                  "def worker(conn):\n"
+                  "    with LOCK:\n"
+                  "        return conn.recv()\n")
+        model = parse_module(ast.parse(source), source)
+        classification, _, captured = classify_process_entry(
+            model.functions["worker"], model)
+        assert classification == "unsafe"
+        assert captured == ["LOCK"]
+
+    def test_process_entry_with_locals_and_constants_reentrant(self):
+        source = ("LIMIT = 8\n"
+                  "def worker(conn):\n"
+                  "    cache = {}\n"
+                  "    cache['n'] = LIMIT\n"
+                  "    return cache\n")
+        model = parse_module(ast.parse(source), source)
+        classification, writes, captured = classify_process_entry(
+            model.functions["worker"], model)
+        assert classification == "reentrant"
+        assert writes == [] and captured == []
 
     def test_percall_alias_mutation_detected(self, tmp_path):
         # a driver that corrupts the shared structure it was handed must
