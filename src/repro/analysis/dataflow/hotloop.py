@@ -184,9 +184,15 @@ def _describe_linear(node: ast.AST) -> "str | None":
 _OBS_RECEIVERS = frozenset({
     "obs", "_obs", "observer", "_observer",
     "metrics", "_metrics", "tracer", "_tracer",
+    # the distributed-obs layer (PR 9): flight recorders and registries
+    "flightrec", "_flightrec", "recorder", "_recorder",
+    "flight_recorder", "_flight_recorder", "FLIGHT_RECORDER",
+    "registry", "_registry", "METRICS_REGISTRY",
 })
 #: obs-API method names that mark a call even off a recognised receiver
-_OBS_METHODS = frozenset({"inc", "observe", "span", "add_span", "record_build"})
+_OBS_METHODS = frozenset({"inc", "observe", "span", "add_span",
+                          "record_build", "record", "to_prometheus_text",
+                          "scrape"})
 
 
 def _attr_parts(node: ast.AST) -> list[str]:

@@ -193,21 +193,30 @@ class HotLoopLinearRule(_HotLoopRule):
     title = "O(n) operation inside a hot region"
 
 
+#: RA601 additionally covers the multiprocess fan-out layer: its
+#: dispatch/collect loops carry flight-recorder and metrics-exposition
+#: call sites that must obey the same ``.enabled`` discipline
+_OBS_HOT_DIRS = _HOT_DIRS | {"parallel"}
+
+
 @register_rule
 class UnguardedObsRule(_HotLoopRule):
     """Obs call in an innermost loop outside the ``.enabled`` pattern.
 
     The ``repro.obs`` contract (see its module docs and the overhead gate
-    in ``benchmarks/bench_trajectory.py``): hot loops in ``joins/`` and
-    ``indexes/`` may only call metrics/tracer/observer methods behind an
-    ``if …enabled:`` branch — either an ``.enabled`` attribute test or a
-    hoisted flag whose name ends in ``enabled``.  Plain ``+=`` counter
-    accumulation (flushed after the loop) is the sanctioned alternative
-    and is not flagged.
+    in ``benchmarks/bench_trajectory.py``): hot loops in ``joins/``,
+    ``indexes/`` and ``parallel/`` may only call metrics/tracer/observer/
+    flight-recorder methods behind an ``if …enabled:`` branch — either an
+    ``.enabled`` attribute test or a hoisted flag whose name ends in
+    ``enabled``.  Plain ``+=`` counter accumulation (flushed after the
+    loop) is the sanctioned alternative and is not flagged.
     """
 
     code = "RA601"
     title = "unguarded observability call in a hot loop"
+
+    def applies_to(self, path: PurePath) -> bool:
+        return any(part in _OBS_HOT_DIRS for part in path.parts)
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
         for node, method in scan_unguarded_obs(tree):

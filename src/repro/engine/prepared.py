@@ -126,12 +126,13 @@ class PreparedJoin:
         query, relations = bound.query, bound.relations
 
         if plan.sharding is not None:
-            result = self._runner.execute(materialize=materialize,
-                                          obs=observer, build_charge=charge)
-            return attach_profile(query, result, observer, plan.choice,
-                                  result.attributes,
-                                  engine=plan.engine or None,
-                                  trace_out=trace_out)
+            # the runner attaches the ShardedJoinProfile itself — it is
+            # the only layer that still holds the per-shard responses
+            # (spans, per-shard profiles, clock stamps) the distributed
+            # assembly needs
+            return self._runner.execute(materialize=materialize,
+                                        obs=observer, build_charge=charge,
+                                        trace_out=trace_out)
         if plan.algorithm == "binary":
             driver = BinaryHashJoin(
                 query, relations, order=list(plan.atom_order), obs=observer,

@@ -67,7 +67,15 @@ class ExecutionError(ReproError):
     when a shard worker dies, times out, or reports a task failure — the
     worker-side traceback rides along in the message.  Distinct from
     :class:`ConfigurationError`: the plan was valid, the run broke.
+
+    ``flight_log`` carries the parent-side flight-recorder dump
+    (:mod:`repro.obs.flightrec`) when the parallel layer raised the
+    error: the last N pool lifecycle events, oldest first, for
+    post-mortem context the message alone cannot give.
     """
+
+    #: flight-recorder tail attached by the parallel layer, when any
+    flight_log: "str | None" = None
 
 
 class UnsupportedOperationError(ReproError):

@@ -12,13 +12,28 @@ other way round.  The only crossing is the lazy ``Stopwatch.now_ns``
 clock lookup inside :class:`Tracer`.
 """
 
-from repro.obs.metrics import Metrics, NullMetrics, NULL_METRICS
+from repro.obs.distributed import (
+    TraceContext,
+    attach_sharded_profile,
+    build_sharded_profile,
+    calibrate_clock_offset,
+    rebase_spans,
+)
+from repro.obs.flightrec import FLIGHT_RECORDER, FlightRecorder
+from repro.obs.metrics import (
+    Metrics,
+    MetricsRegistry,
+    METRICS_REGISTRY,
+    NullMetrics,
+    NULL_METRICS,
+)
 from repro.obs.observer import JoinObserver, LevelStats, NULL_OBSERVER
 from repro.obs.profile import (
     JoinProfile,
     LevelProfile,
     ProfileSchemaError,
     SCHEMA_VERSION,
+    ShardedJoinProfile,
     build_profile,
     validate_profile,
 )
@@ -26,8 +41,12 @@ from repro.obs.trace import NullTracer, NULL_TRACER, Tracer
 
 __all__ = [
     "Metrics",
+    "MetricsRegistry",
+    "METRICS_REGISTRY",
     "NullMetrics",
     "NULL_METRICS",
+    "FlightRecorder",
+    "FLIGHT_RECORDER",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -38,6 +57,12 @@ __all__ = [
     "LevelProfile",
     "ProfileSchemaError",
     "SCHEMA_VERSION",
+    "ShardedJoinProfile",
     "build_profile",
     "validate_profile",
+    "TraceContext",
+    "attach_sharded_profile",
+    "build_sharded_profile",
+    "calibrate_clock_offset",
+    "rebase_spans",
 ]

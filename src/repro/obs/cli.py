@@ -15,6 +15,11 @@ Three ways to describe the workload:
 By default the EXPLAIN ANALYZE text tree is printed; ``--json PATH``
 writes the schema-validated profile JSON and ``--trace PATH`` the Chrome
 ``trace_event`` document (load it in ``chrome://tracing`` or Perfetto).
+
+``--parallel K`` runs the workload sharded over K worker processes:
+the text tree grows the per-shard/straggler section, ``--json`` exports
+the :class:`~repro.obs.profile.ShardedJoinProfile` payload, and
+``--trace`` the *merged* multi-pid Chrome trace with one row per worker.
 """
 
 from __future__ import annotations
@@ -49,6 +54,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="Generic Join engine (default: tuple)")
     execution.add_argument("--index", default=None,
                            help="index structure (default: sonic)")
+    execution.add_argument("--parallel", type=int, default=None, metavar="K",
+                           help="shard across K worker processes; the "
+                                "profile/trace exports become the sharded "
+                                "variants (ShardedJoinProfile, merged "
+                                "multi-pid Chrome trace)")
     output = parser.add_argument_group("output")
     output.add_argument("--json", metavar="PATH", dest="json_out",
                         help="write the profile JSON here")
@@ -137,6 +147,8 @@ def main(argv: "list[str] | None" = None) -> int:
         options["engine"] = args.engine
     if args.index:
         options["index"] = args.index
+    if args.parallel is not None:
+        options["parallel"] = args.parallel
 
     from repro.joins.executor import join
     from repro.obs.profile import validate_profile

@@ -13,16 +13,25 @@ The JSON layout is versioned (``schema_version``) and checked by
 :func:`validate_profile` — the CI smoke job runs a profiled JOB-light
 join and validates the artifact through exactly that function, so the
 schema cannot drift silently.
+
+A sharded run (``join(..., parallel=K, profile=True)``) produces a
+:class:`ShardedJoinProfile`: the same top-level tree (levels aggregated
+across shards) plus a ``sharding`` section with every shard's own level
+tree, counters and clock-rebased spans, per-level min/median/max and
+straggler ratios, and shard-balance stats.  Assembly lives in
+:mod:`repro.obs.distributed`; the schema and validation live here.
 """
 
 from __future__ import annotations
 
 import json
+import statistics
 from dataclasses import dataclass, field
 
 
 #: bump when the JSON layout changes shape (validate_profile must follow)
-SCHEMA_VERSION = 1
+#: v2: optional ``sharding`` section (ShardedJoinProfile, PR 9)
+SCHEMA_VERSION = 2
 
 
 class ProfileSchemaError(ValueError):
@@ -193,6 +202,151 @@ class JoinProfile:
         return "\n".join(lines)
 
 
+@dataclass
+class ShardedJoinProfile(JoinProfile):
+    """A :class:`JoinProfile` for a ``parallel=K`` run.
+
+    The inherited fields describe the *merged* run: top-level ``levels``
+    aggregate candidates/survivors/time across shards, ``counters``
+    carries the parent registry (worker counters folded in under the
+    ``shard.`` prefix), ``spans`` the parent-side trace.  The extra
+    fields carry the per-shard detail the distributed assembly
+    (:mod:`repro.obs.distributed`) collected over the result pipes.
+    """
+
+    workers: int = 0
+    partition_attribute: str = ""
+    scheme: str = "hash"
+    parent_pid: int = 0
+    #: per-shard detail dicts (see ``docs/observability.md`` for keys)
+    shards: list[dict] = field(default_factory=list)
+    #: per-level min/median/max/straggler stats across shards
+    level_stats: list[dict] = field(default_factory=list)
+    #: shard-balance summary (emitted skew, wall-clock straggler)
+    balance: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        payload = super().as_dict()
+        payload["sharding"] = {
+            "workers": self.workers,
+            "attribute": self.partition_attribute,
+            "scheme": self.scheme,
+            "parent_pid": self.parent_pid,
+            "shards": self.shards,
+            "level_stats": self.level_stats,
+            "balance": self.balance,
+        }
+        return payload
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """One merged Chrome ``trace_event`` document: the parent's spans
+        on its own pid row, each worker's clock-rebased spans on that
+        worker's real pid row, with ``process_name`` metadata so Perfetto
+        labels the rows.  All timestamps share the parent tracer's
+        origin, so partition → fan-out → per-shard build/probe → merge
+        reads as one timeline."""
+        events: list[dict] = [
+            {"name": "process_name", "ph": "M", "pid": self.parent_pid,
+             "tid": 0, "args": {"name": f"parent (pid {self.parent_pid})"}},
+            {"name": "process_sort_index", "ph": "M", "pid": self.parent_pid,
+             "tid": 0, "args": {"sort_index": 0}},
+        ]
+        for span in self.spans:
+            events.append({
+                "name": span["name"], "ph": "X",
+                "ts": span["ts_us"], "dur": span["dur_us"],
+                "pid": self.parent_pid, "tid": 1, "cat": "repro",
+                "args": span.get("args", {}),
+            })
+        for entry in self.shards:
+            if entry.get("skipped") or entry.get("pid") is None:
+                continue
+            pid, shard = entry["pid"], entry["shard"]
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"worker shard {shard} (pid {pid})"},
+            })
+            events.append({
+                "name": "process_sort_index", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"sort_index": shard + 1},
+            })
+            for span in entry.get("spans", ()):
+                events.append({
+                    "name": span["name"], "ph": "X",
+                    "ts": span["ts_us"], "dur": span["dur_us"],
+                    "pid": pid, "tid": 1, "cat": "repro",
+                    "args": span.get("args", {}),
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [super().render()]
+        executed = [s for s in self.shards if not s.get("skipped")]
+        straggler = self.balance.get("straggler_shard")
+        ratio = self.balance.get("straggler_ratio", 1.0)
+        lines.append(
+            f"sharding: {self.workers} workers on {self.partition_attribute}"
+            f" ({self.scheme}), {len(executed)} executed /"
+            f" {len(self.shards) - len(executed)} skipped"
+        )
+        for entry in self.shards:
+            shard = entry["shard"]
+            if entry.get("skipped"):
+                lines.append(f"  shard {shard}: skipped (empty partition)")
+                continue
+            total_ms = (entry["build_s"] + entry["probe_s"]) * 1e3
+            note = ""
+            if shard == straggler and len(executed) > 1:
+                note = f"   <-- straggler ({ratio:.2f}x median)"
+            lines.append(
+                f"  shard {shard} pid={entry.get('pid')}: "
+                f"{entry['count']} results  build {entry['build_s'] * 1e3:.3f} ms"
+                f"  probe {entry['probe_s'] * 1e3:.3f} ms"
+                f"  total {total_ms:.3f} ms{note}"
+            )
+        for stat in self.level_stats:
+            seconds = stat["seconds"]
+            lines.append(
+                f"  level {stat['label']}: "
+                f"min {seconds['min'] * 1e3:.3f} / med {seconds['median'] * 1e3:.3f}"
+                f" / max {seconds['max'] * 1e3:.3f} ms"
+                f"  straggler x{stat['straggler_ratio']:.2f}"
+            )
+        emitted = self.balance.get("emitted")
+        if emitted:
+            lines.append(
+                f"  balance: emitted min {emitted['min']} / med"
+                f" {emitted['median']:.0f} / max {emitted['max']} per shard"
+                f"  (skew x{self.balance.get('skew', 1.0):.2f})"
+            )
+        return "\n".join(lines)
+
+
+def shard_distribution(values: "list[float]") -> dict:
+    """min/median/max/total summary of one per-shard quantity."""
+    if not values:
+        return {"min": 0, "median": 0, "max": 0, "total": 0}
+    return {
+        "min": min(values),
+        "median": statistics.median(values),
+        "max": max(values),
+        "total": sum(values),
+    }
+
+
+def straggler_ratio(seconds: "list[float]") -> float:
+    """max/median wall-clock ratio across shards (1.0 = perfectly even)."""
+    if not seconds:
+        return 1.0
+    median = statistics.median(seconds)
+    if median <= 0.0:
+        return 1.0
+    return max(seconds) / median
+
+
 # ----------------------------------------------------------------------
 # Assembly (called by the executor once the run finishes)
 # ----------------------------------------------------------------------
@@ -284,11 +438,130 @@ def _expect_number(value, where: str, minimum: "float | None" = None) -> None:
         _expect(value >= minimum, where, f"expected >= {minimum}, got {value}")
 
 
+def _validate_levels(levels, where: str) -> None:
+    _expect(isinstance(levels, list), where, "expected a list")
+    for position, level in enumerate(levels):
+        loc = f"{where}[{position}]"
+        _expect(isinstance(level, dict), loc, "expected an object")
+        _expect(isinstance(level.get("label"), str) and level["label"],
+                f"{loc}.label", "expected a non-empty string")
+        parts = level.get("participants")
+        _expect(isinstance(parts, list) and parts
+                and all(isinstance(p, str) for p in parts),
+                f"{loc}.participants", "expected a non-empty list of aliases")
+        for key in ("candidates", "survivors", "descends", "ascends"):
+            _expect(isinstance(level.get(key), int) and level[key] >= 0,
+                    f"{loc}.{key}", "expected a non-negative int")
+        for key in ("seconds", "cumulative_seconds"):
+            _expect_number(level.get(key), f"{loc}.{key}", minimum=0.0)
+        seeds = level.get("seed_counts")
+        _expect(isinstance(seeds, dict), f"{loc}.seed_counts",
+                "expected an object")
+        for alias, count in seeds.items():
+            _expect(alias in parts, f"{loc}.seed_counts.{alias}",
+                    "seed alias not among the level's participants")
+            _expect(isinstance(count, int) and count >= 0,
+                    f"{loc}.seed_counts.{alias}",
+                    "expected a non-negative int")
+
+
+def _validate_spans(spans, where: str) -> None:
+    _expect(isinstance(spans, list), where, "expected a list")
+    for position, span in enumerate(spans):
+        loc = f"{where}[{position}]"
+        _expect(isinstance(span, dict), loc, "expected an object")
+        _expect(isinstance(span.get("name"), str) and span["name"],
+                f"{loc}.name", "expected a non-empty string")
+        _expect_number(span.get("ts_us"), f"{loc}.ts_us")
+        _expect_number(span.get("dur_us"), f"{loc}.dur_us", minimum=0.0)
+
+
+def _validate_distribution(dist, where: str, totaled: bool = True) -> None:
+    _expect(isinstance(dist, dict), where, "expected an object")
+    keys = ("min", "median", "max") + (("total",) if totaled else ())
+    for key in keys:
+        _expect_number(dist.get(key), f"{where}.{key}", minimum=0.0)
+
+
+def _validate_sharding(sharding: dict) -> None:
+    where = "sharding"
+    _expect(isinstance(sharding, dict), where, "expected an object")
+    _expect(isinstance(sharding.get("workers"), int)
+            and sharding["workers"] >= 1,
+            f"{where}.workers", "expected a positive int")
+    _expect(isinstance(sharding.get("attribute"), str)
+            and sharding["attribute"],
+            f"{where}.attribute", "expected a non-empty string")
+    _expect(isinstance(sharding.get("scheme"), str) and sharding["scheme"],
+            f"{where}.scheme", "expected a non-empty string")
+    _expect(isinstance(sharding.get("parent_pid"), int)
+            and sharding["parent_pid"] >= 0,
+            f"{where}.parent_pid", "expected a non-negative int")
+
+    shards = sharding.get("shards")
+    _expect(isinstance(shards, list) and shards,
+            f"{where}.shards", "expected a non-empty list")
+    for position, entry in enumerate(shards):
+        loc = f"{where}.shards[{position}]"
+        _expect(isinstance(entry, dict), loc, "expected an object")
+        _expect(isinstance(entry.get("shard"), int) and entry["shard"] >= 0,
+                f"{loc}.shard", "expected a non-negative int")
+        _expect(isinstance(entry.get("skipped"), bool), f"{loc}.skipped",
+                "expected a bool")
+        _expect(isinstance(entry.get("count"), int) and entry["count"] >= 0,
+                f"{loc}.count", "expected a non-negative int")
+        for key in ("build_s", "probe_s"):
+            _expect_number(entry.get(key), f"{loc}.{key}", minimum=0.0)
+        if entry["skipped"]:
+            continue
+        _expect(isinstance(entry.get("pid"), int) and entry["pid"] > 0,
+                f"{loc}.pid", "expected a positive int")
+        _expect(isinstance(entry.get("clock_offset_ns"), int),
+                f"{loc}.clock_offset_ns", "expected an int")
+        counters = entry.get("counters")
+        _expect(isinstance(counters, dict), f"{loc}.counters",
+                "expected an object")
+        for name, value in counters.items():
+            _expect(isinstance(value, int), f"{loc}.counters.{name}",
+                    "expected an int")
+        _validate_levels(entry.get("levels"), f"{loc}.levels")
+        _validate_spans(entry.get("spans"), f"{loc}.spans")
+
+    level_stats = sharding.get("level_stats")
+    _expect(isinstance(level_stats, list), f"{where}.level_stats",
+            "expected a list")
+    for position, stat in enumerate(level_stats):
+        loc = f"{where}.level_stats[{position}]"
+        _expect(isinstance(stat, dict), loc, "expected an object")
+        _expect(isinstance(stat.get("label"), str) and stat["label"],
+                f"{loc}.label", "expected a non-empty string")
+        _validate_distribution(stat.get("seconds"), f"{loc}.seconds")
+        _validate_distribution(stat.get("survivors"), f"{loc}.survivors")
+        _expect_number(stat.get("straggler_ratio"), f"{loc}.straggler_ratio",
+                       minimum=1.0)
+
+    balance = sharding.get("balance")
+    _expect(isinstance(balance, dict), f"{where}.balance",
+            "expected an object")
+    _validate_distribution(balance.get("emitted"), f"{where}.balance.emitted")
+    _validate_distribution(balance.get("total_s"), f"{where}.balance.total_s",
+                           totaled=False)
+    _expect(balance.get("straggler_shard") is None
+            or isinstance(balance["straggler_shard"], int),
+            f"{where}.balance.straggler_shard", "expected an int or null")
+    _expect_number(balance.get("straggler_ratio"),
+                   f"{where}.balance.straggler_ratio", minimum=1.0)
+    _expect_number(balance.get("skew"), f"{where}.balance.skew", minimum=0.0)
+
+
 def validate_profile(payload: dict) -> dict:
     """Check a :meth:`JoinProfile.as_dict` payload against the schema.
 
-    Raises :class:`ProfileSchemaError` on the first mismatch; returns the
-    payload unchanged so the call composes (``validate_profile(json.load(f))``).
+    Covers both the single-process layout and the sharded layout (an
+    optional ``sharding`` section, :class:`ShardedJoinProfile`).  Raises
+    :class:`ProfileSchemaError` on the first mismatch; returns the
+    payload unchanged so the call composes
+    (``validate_profile(json.load(f))``).
     """
     _expect(isinstance(payload, dict), "$", "profile must be an object")
     _expect(payload.get("schema_version") == SCHEMA_VERSION, "schema_version",
@@ -316,31 +589,7 @@ def validate_profile(payload: dict) -> dict:
     for alias, seconds in breakdown.items():
         _expect_number(seconds, f"timings.build_breakdown.{alias}", minimum=0.0)
 
-    levels = payload.get("levels")
-    _expect(isinstance(levels, list), "levels", "expected a list")
-    for position, level in enumerate(levels):
-        where = f"levels[{position}]"
-        _expect(isinstance(level, dict), where, "expected an object")
-        _expect(isinstance(level.get("label"), str) and level["label"],
-                f"{where}.label", "expected a non-empty string")
-        parts = level.get("participants")
-        _expect(isinstance(parts, list) and parts
-                and all(isinstance(p, str) for p in parts),
-                f"{where}.participants", "expected a non-empty list of aliases")
-        for key in ("candidates", "survivors", "descends", "ascends"):
-            _expect(isinstance(level.get(key), int) and level[key] >= 0,
-                    f"{where}.{key}", "expected a non-negative int")
-        for key in ("seconds", "cumulative_seconds"):
-            _expect_number(level.get(key), f"{where}.{key}", minimum=0.0)
-        seeds = level.get("seed_counts")
-        _expect(isinstance(seeds, dict), f"{where}.seed_counts",
-                "expected an object")
-        for alias, count in seeds.items():
-            _expect(alias in parts, f"{where}.seed_counts.{alias}",
-                    "seed alias not among the level's participants")
-            _expect(isinstance(count, int) and count >= 0,
-                    f"{where}.seed_counts.{alias}",
-                    "expected a non-negative int")
+    _validate_levels(payload.get("levels"), "levels")
 
     optimizer = payload.get("optimizer")
     if optimizer is not None:
@@ -366,13 +615,9 @@ def validate_profile(payload: dict) -> dict:
     for name, value in counters.items():
         _expect(isinstance(value, int), f"counters.{name}", "expected an int")
 
-    spans = payload.get("spans")
-    _expect(isinstance(spans, list), "spans", "expected a list")
-    for position, span in enumerate(spans):
-        where = f"spans[{position}]"
-        _expect(isinstance(span, dict), where, "expected an object")
-        _expect(isinstance(span.get("name"), str) and span["name"],
-                f"{where}.name", "expected a non-empty string")
-        _expect_number(span.get("ts_us"), f"{where}.ts_us")
-        _expect_number(span.get("dur_us"), f"{where}.dur_us", minimum=0.0)
+    _validate_spans(payload.get("spans"), "spans")
+
+    sharding = payload.get("sharding")
+    if sharding is not None:
+        _validate_sharding(sharding)
     return payload

@@ -93,6 +93,14 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    @property
+    def origin_ns(self) -> int:
+        """The clock reading at construction — the zero of every exported
+        timestamp.  Cross-process trace assembly
+        (:mod:`repro.obs.distributed`) rebases worker spans against the
+        parent tracer's origin."""
+        return self._origin
+
     # ------------------------------------------------------------------
     def span(self, name: str, **args) -> _SpanHandle:
         """A context manager timing one named span; ``args`` is attached
@@ -118,6 +126,21 @@ class Tracer:
     # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------
+    def export_spans(self) -> list[tuple]:
+        """Finished spans in raw clock units: ``(name, start_ns,
+        duration_ns, depth, args)`` tuples, start-ordered.
+
+        This is the wire format shard workers ship over the result pipe:
+        nanosecond timestamps on the *worker's* clock, so the parent can
+        rebase them with a measured clock offset instead of the lossy
+        µs-relative form :meth:`as_dicts` produces.
+        """
+        with self._lock:
+            finished = list(self._spans)
+        return [(name, start, duration, depth, dict(args))
+                for name, start, duration, depth, args
+                in sorted(finished, key=lambda s: s[1])]
+
     def as_dicts(self) -> list[dict]:
         """Finished spans, start-ordered, timestamps in µs from the
         tracer's construction instant."""

@@ -12,7 +12,13 @@ where available (cheap on Linux — workers inherit the imported engine)
 with ``spawn`` as the portable fallback.  Workers are daemons: an
 abandoned pool cannot outlive its parent.  A worker death or task
 timeout surfaces as :class:`~repro.errors.ExecutionError` carrying the
-worker-side traceback when there is one.
+worker-side traceback when there is one — plus the parent's
+flight-recorder tail (``exc.flight_log``), so the dispatch/collect
+history leading up to the failure travels with the report.
+
+Every collected result is stamped with the parent-clock receive time
+(``collected_ns``) — the fourth stamp of the NTP-style clock
+calibration :mod:`repro.obs.distributed` runs per task round trip.
 """
 
 from __future__ import annotations
@@ -21,7 +27,21 @@ import multiprocessing as mp
 
 from repro.core.envflag import env_int, env_str
 from repro.errors import ConfigurationError, ExecutionError
+from repro.obs.flightrec import FLIGHT_RECORDER
 from repro.parallel.worker import worker_main
+
+
+def _execution_error(message: str, **fields) -> ExecutionError:
+    """An :class:`ExecutionError` carrying the flight-recorder tail.
+
+    The failure itself is recorded first, so the dump's last line names
+    what went wrong; the full tail rides on ``exc.flight_log`` for
+    post-mortem reading without bloating ``str(exc)``.
+    """
+    FLIGHT_RECORDER.record("pool.error", message.splitlines()[0], **fields)
+    exc = ExecutionError(message)
+    exc.flight_log = FLIGHT_RECORDER.dump_text()
+    return exc
 
 #: seconds the parent waits on one shard result before giving up
 DEFAULT_TASK_TIMEOUT = 300.0
@@ -72,6 +92,8 @@ class WorkerPool:
             self._processes.append(process)
             self._connections.append(parent_end)
         self._closed = False
+        FLIGHT_RECORDER.record("pool.start", workers=workers,
+                               method=self.method)
 
     # ------------------------------------------------------------------
     def run(self, tasks: "list[dict]",
@@ -83,23 +105,30 @@ class WorkerPool:
         comfortably holds the requests while workers stream answers.
         """
         if self._closed:
-            raise ExecutionError("worker pool is closed")
+            raise _execution_error("worker pool is closed")
         if timeout is None:
             timeout = float(env_int("REPRO_SHARD_TIMEOUT",
                                     int(DEFAULT_TASK_TIMEOUT)))
+        FLIGHT_RECORDER.record("pool.dispatch", tasks=len(tasks),
+                               workers=self.workers)
         assignment = [[] for _ in range(self.workers)]
         for position, task in enumerate(tasks):
             assignment[position % self.workers].append(position)
         for worker_id, positions in enumerate(assignment):
             for position in positions:
+                if FLIGHT_RECORDER.enabled:
+                    FLIGHT_RECORDER.record(
+                        "task.send", worker=worker_id,
+                        shard=tasks[position].get("shard"))
                 try:
                     self._connections[worker_id].send(("run", tasks[position]))
                 except (BrokenPipeError, OSError):
                     exitcode = self._processes[worker_id].exitcode
                     self.close()
-                    raise ExecutionError(
+                    raise _execution_error(
                         f"shard worker {worker_id} died (exitcode "
-                        f"{exitcode}) before accepting a task") from None
+                        f"{exitcode}) before accepting a task",
+                        worker=worker_id, exitcode=exitcode) from None
         results: "list[dict | None]" = [None] * len(tasks)
         for worker_id, positions in enumerate(assignment):
             for position in positions:
@@ -108,26 +137,39 @@ class WorkerPool:
         if failures:
             first = failures[0]
             detail = first.get("traceback") or first.get("error", "unknown")
-            raise ExecutionError(
+            raise _execution_error(
                 f"shard {first.get('shard')} failed in worker process:\n"
-                f"{detail}")
+                f"{detail}", shard=first.get("shard"))
         return results  # type: ignore[return-value]
 
     def _collect(self, worker_id: int, timeout: float) -> dict:
         connection = self._connections[worker_id]
         if not connection.poll(timeout):
             self.close()
-            raise ExecutionError(
+            raise _execution_error(
                 f"shard worker {worker_id} produced no result within "
-                f"{timeout:.0f}s (REPRO_SHARD_TIMEOUT)")
+                f"{timeout:.0f}s (REPRO_SHARD_TIMEOUT)",
+                worker=worker_id, timeout_s=timeout)
         try:
-            return connection.recv()
+            result = connection.recv()
         except (EOFError, OSError):
             exitcode = self._processes[worker_id].exitcode
             self.close()
-            raise ExecutionError(
+            raise _execution_error(
                 f"shard worker {worker_id} died (exitcode {exitcode}) "
-                "before answering") from None
+                "before answering",
+                worker=worker_id, exitcode=exitcode) from None
+        if isinstance(result, dict):
+            # parent-clock receive stamp: the T1 of the NTP-style clock
+            # calibration (repro.obs.distributed.calibrate_clock_offset)
+            from repro.joins.results import Stopwatch
+
+            result["collected_ns"] = Stopwatch.now_ns()
+            if FLIGHT_RECORDER.enabled:
+                FLIGHT_RECORDER.record("task.collect", worker=worker_id,
+                                       shard=result.get("shard"),
+                                       ok=result.get("ok"))
+        return result
 
     # ------------------------------------------------------------------
     def alive(self) -> bool:
@@ -139,6 +181,7 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        FLIGHT_RECORDER.record("pool.close", workers=self.workers)
         for connection in self._connections:
             try:
                 connection.send(("shutdown", None))

@@ -18,7 +18,11 @@ means an empty shard result.
 
 from __future__ import annotations
 
+import uuid
+
 from repro.joins.results import JoinResult, Stopwatch
+from repro.obs.distributed import TraceContext, attach_sharded_profile
+from repro.obs.flightrec import FLIGHT_RECORDER
 from repro.obs.observer import NULL_OBSERVER
 from repro.parallel.merge import add_shard_spans, merge_shard_results
 from repro.parallel.pool import WorkerPool
@@ -59,8 +63,8 @@ def plan_index_kwargs(plan) -> dict:
 
 
 def _empty_shard_result(shard: int) -> dict:
-    return {"ok": True, "shard": shard, "count": 0, "rows": [],
-            "attributes": (), "algorithm": None, "build_s": 0.0,
+    return {"ok": True, "shard": shard, "skipped": True, "count": 0,
+            "rows": [], "attributes": (), "algorithm": None, "build_s": 0.0,
             "probe_s": 0.0, "lookups": 0, "intermediates": 0,
             "counters": None}
 
@@ -139,13 +143,25 @@ class ShardedRunner:
         return self._pool
 
     def execute(self, materialize: bool = False, obs=None,
-                build_charge: float = 0.0) -> JoinResult:
-        """Run every shard and merge; parent wall clock is the probe."""
+                build_charge: float = 0.0,
+                trace_out: "str | None" = None) -> JoinResult:
+        """Run every shard and merge; parent wall clock is the probe.
+
+        Every dispatched task carries a :class:`TraceContext` (one trace
+        id per execution, a per-task parent-clock dispatch stamp), so
+        profiled workers answer with calibratable spans and a full
+        per-shard profile; with an enabled observer the merged result
+        carries a :class:`~repro.obs.profile.ShardedJoinProfile` and
+        ``trace_out``/``REPRO_TRACE_OUT`` gets the merged multi-pid
+        Chrome trace.
+        """
         observer = obs if obs is not None else NULL_OBSERVER
         workers = self.plan.sharding.workers
+        trace_id = uuid.uuid4().hex[:16]
         window_start = Stopwatch.now_ns()
         watch = Stopwatch()
-        with observer.tracer.span("shard_fanout", workers=workers):
+        with observer.tracer.span("shard_fanout", workers=workers,
+                                  trace_id=trace_id):
             tasks = []
             shard_results: "list[dict]" = []
             for shard in range(workers):
@@ -153,8 +169,13 @@ class ShardedRunner:
                 if task is None:
                     shard_results.append(_empty_shard_result(shard))
                 else:
+                    task["trace"] = TraceContext(
+                        trace_id, "shard_fanout",
+                        Stopwatch.now_ns()).to_wire()
                     shard_results.append(task)  # placeholder, filled below
                     tasks.append(task)
+            FLIGHT_RECORDER.record("runner.fanout", trace_id=trace_id,
+                                   workers=workers, tasks=len(tasks))
             if tasks:
                 pool = self._ensure_pool()
                 for result in pool.run(tasks):
@@ -172,11 +193,20 @@ class ShardedRunner:
             observer.metrics.inc("parallel.shards_skipped",
                                  workers - len(tasks))
             add_shard_spans(executed, observer, window_start)
-        return merge_shard_results(
-            shard_results, attributes, materialize,
-            algorithm=algorithm, index=self.plan.index,
-            build_seconds=build_charge, probe_seconds=probe_seconds,
-            observer=observer)
+        with observer.tracer.span("merge_shards", shards=len(shard_results),
+                                  trace_id=trace_id):
+            result = merge_shard_results(
+                shard_results, attributes, materialize,
+                algorithm=algorithm, index=self.plan.index,
+                build_seconds=build_charge, probe_seconds=probe_seconds,
+                observer=observer)
+        FLIGHT_RECORDER.record("runner.merged", trace_id=trace_id,
+                               results=result.count)
+        if observer.enabled:
+            attach_sharded_profile(self.bound.query, result, observer,
+                                   self.plan, shard_results,
+                                   trace_out=trace_out)
+        return result
 
     def _fallback_attributes(self) -> "tuple[str, ...]":
         """Result schema when every shard was skipped (empty inputs)."""

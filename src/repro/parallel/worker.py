@@ -25,6 +25,7 @@ parent's index cache does.
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from collections import OrderedDict
@@ -108,8 +109,15 @@ def relation_from_handles(name: str, attributes: "tuple[str, ...]",
     return relation, attachments
 
 
-def _prepare_task(task: dict) -> "tuple[object, list]":
-    """bind → plan → prepare for one shard; returns prepared state."""
+def _prepare_task(task: dict, obs=None) -> "tuple[object, list]":
+    """bind → plan → prepare for one shard; returns prepared state.
+
+    ``obs`` (the per-task observer, when the run is profiled) is
+    threaded through every stage so the shard's bind/plan/prepare and
+    ``build_index`` spans land in the per-shard trace the parent will
+    rebase — a warm re-execution skips this function entirely, which is
+    exactly why its profile carries no build spans.
+    """
     # imported here, not at module level: the engine pipeline is the
     # parent-facing layer above this package, and the import must stay
     # one-directional (pipeline → runner → worker) at module scope
@@ -123,7 +131,7 @@ def _prepare_task(task: dict) -> "tuple[object, list]":
             tuple(spec["handles"]))
         relations[alias] = relation
         attachments.extend(attached)
-    bound = bind(task["query"], relations)
+    bound = bind(task["query"], relations, obs=obs)
     join_plan = plan(
         bound,
         algorithm=task["algorithm"],
@@ -134,12 +142,29 @@ def _prepare_task(task: dict) -> "tuple[object, list]":
         engine=task["engine"] or "tuple",
         dynamic_seed=task["dynamic_seed"],
         index_kwargs=task["index_kwargs"] or None,
+        obs=obs,
         # a shard always runs single-process: without the explicit 0 an
         # inherited REPRO_WORKERS would shard the shard, recursively
         parallel=0,
     )
-    prepared = prepare(bound, join_plan, cache=None)
+    prepared = prepare(bound, join_plan, cache=None, obs=obs)
     return prepared, attachments
+
+
+def _shard_trace_path(out: str, shard: int) -> str:
+    """A per-shard variant of an inherited ``REPRO_TRACE_OUT`` path.
+
+    Every worker inherits the same environment; writing the parent's
+    path verbatim would have K processes clobbering one file, so
+    ``trace.json`` becomes ``trace.shard0.json`` etc.  (The parent
+    separately writes the *merged* multi-pid document to the original
+    path.)
+    """
+    from pathlib import PurePath
+
+    path = PurePath(out)
+    suffix = path.suffix or ".json"
+    return str(path.with_name(f"{path.stem}.shard{shard}{suffix}"))
 
 
 def run_shard_task(task: dict, state_cache: "OrderedDict | None" = None,
@@ -150,15 +175,33 @@ def run_shard_task(task: dict, state_cache: "OrderedDict | None" = None,
     worker reuse the attach/build work across repeat executions of the
     same sharded plan; evicted entries close their shared-memory
     attachments.  Pass ``None`` for one-shot execution.
+
+    Observability follows the repo's envflag convention rather than
+    being pinned off: the task's ``with_counters`` request (the parent
+    ran profiled) *or* an inherited ``REPRO_PROFILE``/``REPRO_TRACE_OUT``
+    turns the worker-side observer on.  A profiled shard answers with
+    its raw spans (worker-clock ns, for parent-side rebasing), its full
+    per-shard profile payload, its pid, and the clock-calibration
+    stamps; an inherited trace path is honored per shard
+    (``trace.json`` → ``trace.shard0.json``), never clobbered.
     """
-    from repro.obs.observer import JoinObserver
+    from repro.core.envflag import resolve_flag, resolve_str
+    from repro.joins.results import Stopwatch
+    from repro.obs.observer import JoinObserver, NULL_OBSERVER
+
+    received_ns = Stopwatch.now_ns()
+    trace = task.get("trace") or {}
+    with_obs = (task.get("with_counters", False)
+                or resolve_flag(None, "REPRO_PROFILE")
+                or bool(resolve_str(None, "REPRO_TRACE_OUT")))
+    observer = JoinObserver() if with_obs else NULL_OBSERVER
 
     signature = task["signature"]
     entry = state_cache.get(signature) if state_cache is not None else None
     if entry is not None:
         state_cache.move_to_end(signature)
     else:
-        entry = _prepare_task(task)
+        entry = _prepare_task(task, obs=observer if with_obs else None)
         if state_cache is not None:
             state_cache[signature] = entry
             while len(state_cache) > STATE_CACHE_ENTRIES:
@@ -167,8 +210,11 @@ def run_shard_task(task: dict, state_cache: "OrderedDict | None" = None,
                     shm.close()
     prepared, _attachments = entry
 
-    observer = JoinObserver() if task["with_counters"] else None
-    result = prepared.execute(materialize=task["materialize"], obs=observer)
+    inherited_out = resolve_str(None, "REPRO_TRACE_OUT")
+    trace_out = (_shard_trace_path(inherited_out, task["shard"])
+                 if inherited_out and with_obs else None)
+    result = prepared.execute(materialize=task["materialize"], obs=observer,
+                              trace_out=trace_out)
     metrics = result.metrics
     response = {
         "ok": True,
@@ -181,9 +227,19 @@ def run_shard_task(task: dict, state_cache: "OrderedDict | None" = None,
         "probe_s": metrics.probe_seconds,
         "lookups": metrics.lookups,
         "intermediates": metrics.intermediate_tuples,
-        "counters": (dict(observer.metrics.counters)
-                     if observer is not None else None),
+        "counters": (dict(observer.metrics.counters) if with_obs else None),
     }
+    if with_obs:
+        response["pid"] = os.getpid()
+        response["trace_id"] = trace.get("trace_id")
+        response["spans"] = observer.tracer.export_spans()
+        response["profile"] = (result.profile.as_dict()
+                               if result.profile is not None else None)
+        response["clock"] = {
+            "issued_ns": trace.get("issued_ns"),
+            "received_ns": received_ns,
+            "responded_ns": Stopwatch.now_ns(),
+        }
     return response
 
 

@@ -1,0 +1,38 @@
+"""Clean counterexample: flight-recorder discipline in parallel/ loops.
+
+Every per-iteration obs call sits behind the ``.enabled`` pattern (or
+happens once, outside the loop), so RA601 — which scopes over
+``parallel/`` paths — must stay silent here.
+"""
+
+
+def dispatch_loop_guards_the_recorder(tasks, recorder):
+    for task in tasks:
+        if recorder.enabled:
+            recorder.record("task.send", shard=task)  # guarded: clean
+        send(task)
+
+
+def collect_loop_hoists_the_flag(results, flightrec):
+    rec_enabled = flightrec.enabled
+    for result in results:
+        if rec_enabled:
+            flightrec.record("task.collect", ok=True)  # hoisted flag: clean
+        consume(result)
+
+
+def record_once_per_fanout(tasks, recorder):
+    sent = 0
+    for task in tasks:
+        sent += 1  # plain accumulation: the sanctioned pattern
+        send(task)
+    recorder.record("pool.dispatch", tasks=sent)  # outside the loop: clean
+    return sent
+
+
+def send(task):
+    return task
+
+
+def consume(result):
+    return result

@@ -1,0 +1,29 @@
+"""Planted RA601: unguarded flight-recorder / exposition calls in
+innermost loops of the parallel fan-out layer."""
+
+
+def dispatch_loop_records_every_task(tasks, recorder):
+    for task in tasks:
+        recorder.record("task.send", shard=task)  # RA601: unguarded record
+        send(task)
+
+
+def collect_loop_records_every_result(results, flightrec):
+    for result in results:
+        flightrec.record("task.collect", ok=True)  # RA601: unguarded record
+        consume(result)
+
+
+def scrape_loop_renders_per_shard(shards, registry):
+    texts = []
+    for shard in shards:
+        texts.append(registry.to_prometheus_text())  # RA601: exposition call
+    return texts
+
+
+def send(task):
+    return task
+
+
+def consume(result):
+    return result

@@ -291,7 +291,47 @@ class TestUnguardedObsDetection:
         )
         assert "RA601" in rules_at(source, "src/repro/joins/x.py")
         assert "RA601" in rules_at(source, "src/repro/indexes/x.py")
+        assert "RA601" in rules_at(source, "src/repro/parallel/x.py")
         assert "RA601" not in rules_at(source, "src/repro/planner/x.py")
+
+    def test_parallel_scope_is_obs_only(self):
+        # RA501/RA502 stay scoped to joins/indexes: the fan-out layer
+        # allocates per shard, not per binding
+        source = (
+            "def f(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append(sorted(row))\n"
+            "    return out\n"
+        )
+        assert "RA502" not in rules_at(source, "src/repro/parallel/x.py")
+
+    def test_flight_recorder_receivers_flagged(self):
+        source = (
+            "def f(tasks, recorder):\n"
+            "    for task in tasks:\n"
+            "        recorder.record('task.send', shard=task)\n"
+        )
+        assert "RA601" in rules_at(source, "src/repro/parallel/x.py")
+
+    def test_exposition_call_flagged(self):
+        source = (
+            "def f(shards, registry):\n"
+            "    out = []\n"
+            "    for shard in shards:\n"
+            "        out.append(registry.to_prometheus_text())\n"
+            "    return out\n"
+        )
+        assert "RA601" in rules_at(source, "src/repro/parallel/x.py")
+
+    def test_guarded_flight_recorder_clean(self):
+        assert "RA601" not in rules_at(
+            "def f(tasks, recorder):\n"
+            "    for task in tasks:\n"
+            "        if recorder.enabled:\n"
+            "            recorder.record('task.send', shard=task)\n",
+            "src/repro/parallel/x.py",
+        )
 
 
 class TestSuppressionAndFixtures:
@@ -311,6 +351,7 @@ class TestSuppressionAndFixtures:
         "joins/bad_hot_alloc.py": {"RA501"},
         "joins/bad_linear.py": {"RA501", "RA502"},
         "joins/bad_obs_unguarded.py": {"RA601"},
+        "parallel/bad_flightrec_unguarded.py": {"RA601"},
         "bad_dead_store.py": {"RA503"},
         "bad_use_before_def.py": {"RA504"},
     }

@@ -1,0 +1,98 @@
+"""Prometheus text exposition: Metrics.to_prometheus_text + the registry."""
+
+from repro.obs.metrics import METRICS_REGISTRY, Metrics, MetricsRegistry
+
+
+def sample_metrics():
+    metrics = Metrics()
+    metrics.inc("join.emitted", 42)
+    metrics.inc("probe.lookups", 7)
+    metrics.observe("batch.width", 3.0)
+    metrics.observe("batch.width", 5.0)
+    return metrics
+
+
+class TestExpositionText:
+    def test_counters_render_with_type_lines(self):
+        text = sample_metrics().to_prometheus_text()
+        assert "# TYPE repro_join_emitted counter" in text
+        assert "repro_join_emitted 42" in text
+        assert "repro_probe_lookups 7" in text
+        assert text.endswith("\n")
+
+    def test_histograms_expand_to_summary_series(self):
+        lines = sample_metrics().to_prometheus_text().splitlines()
+        assert "# TYPE repro_batch_width summary" in lines
+        assert "repro_batch_width_count 2" in lines
+        assert "repro_batch_width_sum 8.0" in lines
+        assert "repro_batch_width_min 3.0" in lines
+        assert "repro_batch_width_max 5.0" in lines
+
+    def test_empty_registry_renders_empty(self):
+        assert Metrics().to_prometheus_text() == ""
+
+    def test_name_sanitization(self):
+        metrics = Metrics()
+        metrics.inc("shard-0.build/ns", 1)
+        metrics.inc("0weird", 2)
+        text = metrics.to_prometheus_text()
+        assert "repro_shard_0_build_ns 1" in text
+        # a sanitized name must never start with a digit
+        assert "repro__0weird 2" in text
+        assert "_0weird 2" in metrics.to_prometheus_text(prefix="")
+
+    def test_labels_attach_to_every_sample_and_escape(self):
+        metrics = Metrics()
+        metrics.inc("join.emitted", 1)
+        metrics.observe("batch.width", 2.0)
+        text = metrics.to_prometheus_text(
+            labels={"source": 'a"b\\c', "shard": "0"})
+        expected = '{shard="0",source="a\\"b\\\\c"}'
+        assert f"repro_join_emitted{expected} 1" in text
+        assert f"repro_batch_width_count{expected} 1" in text
+
+
+class TestRegistry:
+    def test_register_scrape_with_source_labels(self):
+        registry = MetricsRegistry()
+        session = registry.register("session")
+        session.inc("join.emitted", 3)
+        pool = Metrics()
+        pool.inc("parallel.shards", 2)
+        registry.register("pool", pool)
+        text = registry.scrape()
+        assert 'repro_join_emitted{source="session"} 3' in text
+        assert 'repro_parallel_shards{source="pool"} 2' in text
+
+    def test_reregister_replaces_unregister_drops(self):
+        registry = MetricsRegistry()
+        first = registry.register("pool")
+        first.inc("x", 1)
+        second = registry.register("pool")
+        assert registry.sources()["pool"] is second
+        assert "x 1" not in registry.scrape(prefix="")
+        registry.unregister("pool")
+        registry.unregister("pool")  # idempotent
+        assert registry.sources() == {}
+        assert registry.scrape() == ""
+
+    def test_snapshot_folds_all_sources(self):
+        registry = MetricsRegistry()
+        registry.register("a").inc("join.emitted", 3)
+        source_b = registry.register("b")
+        source_b.inc("join.emitted", 4)
+        source_b.observe("batch.width", 1.5)
+        merged = registry.snapshot()
+        assert merged.get("join.emitted") == 7
+        assert merged.histograms()["batch.width"]["count"] == 1
+
+    def test_process_wide_default_exists(self):
+        assert isinstance(METRICS_REGISTRY, MetricsRegistry)
+        name = "test.exposition.tmp"
+        source = METRICS_REGISTRY.register(name)
+        try:
+            source.inc("alive", 1)
+            assert f'repro_alive{{source="{name}"}} 1' in \
+                METRICS_REGISTRY.scrape()
+        finally:
+            METRICS_REGISTRY.unregister(name)
