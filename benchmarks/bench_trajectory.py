@@ -67,6 +67,20 @@ never waived.  ``--parallel-only`` runs just this section (the CI
 parallel-smoke job) and, like the other partial modes, never rewrites
 the committed JSON.
 
+A ``unified`` section runs each pinned JOB-light query as a pure binary
+pipeline, a pure batch Generic Join, and a unified stage-tree plan
+(``algorithm="unified"``), recording the per-case winner and the
+best per-round (back-to-back, drift-cancelling) ratio of the better
+pure plan to the unified plan; ``--min-unified-ratio``
+(default 0.95) fails the run if a unified plan falls more than 5%
+behind.  The section also measures the lazy-COLT prefix-only case: a
+probe relation disjoint from the pinned graph, where the join dies at
+the first attribute and a ``lazy=True`` build materializes one trie
+level instead of two full indexes — cold ``build_s`` lazy vs eager is
+the recorded win, gated alongside the ratio.  ``--unified-only`` runs
+just this section (the CI unified-plan-smoke job) and never rewrites
+the committed JSON.
+
 The run also measures the **observability overhead** (``obs_overhead``
 in the output JSON): probe time with no observer vs a present-but-
 disabled :class:`~repro.obs.observer.JoinObserver` vs full profiling.
@@ -83,6 +97,7 @@ multiprocess wall clock is scheduler noise).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -596,6 +611,153 @@ def run_parallel(smoke: bool, index: str, repeats: int, workers: int) -> dict:
     return report
 
 
+#: the lazy prefix-only case runs on the largest pinned triangle graph
+LAZY_GRAPH = (10_000, 100_000)
+LAZY_GRAPH_SMOKE = (600, 2_000)
+#: probe relation for the prefix-only case: vertices disjoint from the
+#: pinned graph, so the join dies at the first attribute level
+LAZY_PROBE_VERTICES = 64
+
+
+def run_unified(smoke: bool, index: str, repeats: int) -> dict:
+    """Unified stage-tree plans vs the better pure plan, per JOB-light case.
+
+    Each pinned JOB-light query runs as a pure binary pipeline, a pure
+    batch Generic Join, and a unified stage-tree plan (best-of-repeats
+    total time each).  The recorded ``winner`` is the fastest cell.
+    ``unified_ratio`` is the best *per-round* ratio of best-pure total
+    to unified total: the three cells run back-to-back inside each
+    repeat round, and pairing within a round is what cancels machine
+    drift (frequency scaling, noisy neighbors) that would otherwise
+    swamp a few-percent plan difference.  The ``--min-unified-ratio``
+    gate (default 0.95) demands the unified plan stay within 5% of
+    whichever pure plan wins under those matched conditions.  Counts
+    must agree exactly across all three cells.
+
+    The ``lazy_prefix`` sub-case is the headline for lazy COLT builds: a
+    probe relation whose vertices are disjoint from the pinned graph, so
+    the join dies at the first attribute and a lazy build materializes
+    one trie level where the eager build pays for every level of two
+    large indexes.  Cold ``build_s`` lazy vs eager is the recorded win.
+    """
+    from repro.indexes.lazy import LAZY_CAPABLE_KINDS
+
+    print("unified:")
+    # the JOB-light cells finish in single-digit milliseconds, where
+    # scheduling noise swamps any real plan difference: warm every cell
+    # up untimed, then interleave the timed repeats round-robin across
+    # the cells (so a transient slowdown hits all of them, not one
+    # cell's whole block) and take each cell's best with the garbage
+    # collector paused
+    repeats = max(repeats, 7)
+    catalog = make_imdb(IMDB_TITLES_SMOKE if smoke else IMDB_TITLES,
+                        seed=GRAPH_SEED)
+    workload = {q.name: q for q in job_light_queries(catalog, seed=GRAPH_SEED)}
+    plans = (
+        ("binary", {"algorithm": "binary"}),
+        ("batch", {"algorithm": "generic", "engine": "batch", "index": index}),
+        ("unified", {"algorithm": "unified", "index": index}),
+    )
+    cases = []
+    for name in JOB_QUERY_NAMES:
+        job = workload[name]
+        cells: dict[str, dict] = {}
+        for label, options in plans:
+            join(job.query, job.relations, **options)  # warmup, untimed
+        ratio = None
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                totals: dict[str, float] = {}
+                for label, options in plans:
+                    result = join(job.query, job.relations, **options)
+                    metrics = result.metrics
+                    totals[label] = metrics.total_seconds
+                    best = cells.get(label)
+                    if best is None or metrics.total_seconds < best["total_s"]:
+                        cells[label] = {
+                            "count": result.count,
+                            "build_s": round(metrics.build_seconds, 6),
+                            "probe_s": round(metrics.probe_seconds, 6),
+                            "total_s": round(metrics.total_seconds, 6),
+                        }
+                # the gate ratio pairs cells *within* a round — machine
+                # drift across rounds (frequency scaling, neighbors)
+                # dwarfs the plan difference, and back-to-back runs are
+                # the only fairly matched comparison
+                if totals["unified"]:
+                    round_ratio = (min(totals["binary"], totals["batch"])
+                                   / totals["unified"])
+                    if ratio is None or round_ratio > ratio:
+                        ratio = round(round_ratio, 3)
+        finally:
+            if was_enabled:
+                gc.enable()
+        best_pure = min(("binary", "batch"),
+                        key=lambda label: cells[label]["total_s"])
+        winner = min(cells, key=lambda label: cells[label]["total_s"])
+        unified_total = cells["unified"]["total_s"]
+        case = {
+            "name": name,
+            "workload": "job_light",
+            **cells,
+            "best_pure": best_pure,
+            "winner": winner,
+            "unified_ratio": ratio,
+            "diverged": len({c["count"] for c in cells.values()}) > 1,
+        }
+        status = "DIVERGED" if case["diverged"] else "ok"
+        print(f"  {name:42s} count={cells['unified']['count']:<10d} "
+              f"pure({best_pure}) {cells[best_pure]['total_s']:.4f}s  "
+              f"unified {unified_total:.4f}s "
+              f"(ratio {ratio}x, winner={winner})  [{status}]")
+        cases.append(case)
+
+    # --- the prefix-only lazy build case ------------------------------
+    lazy_kind = index if index in LAZY_CAPABLE_KINDS else "sonic"
+    nodes, edges = LAZY_GRAPH_SMOKE if smoke else LAZY_GRAPH
+    relation = random_edge_relation(nodes, edges, seed=GRAPH_SEED)
+    probe = Relation("H", ("src", "dst"),
+                     [(nodes + i, nodes + i + 1)
+                      for i in range(LAZY_PROBE_VERTICES)])
+    relations = {"E1": probe, "E2": relation, "E3": relation}
+    modes: dict[str, dict] = {}
+    for mode, lazy in (("eager", False), ("lazy", True)):
+        best = None
+        for _ in range(max(repeats, 3)):
+            result = join(HOT_QUERY, relations, algorithm="generic",
+                          index=lazy_kind, lazy=lazy)
+            metrics = result.metrics
+            if best is None or metrics.build_seconds < best["build_s"]:
+                best = {
+                    "count": result.count,
+                    "build_s": round(metrics.build_seconds, 6),
+                    "probe_s": round(metrics.probe_seconds, 6),
+                    "total_s": round(metrics.total_seconds, 6),
+                }
+        modes[mode] = best
+    eager, lazy = modes["eager"], modes["lazy"]
+    build_speedup = (round(eager["build_s"] / lazy["build_s"], 3)
+                     if lazy["build_s"] else None)
+    lazy_prefix = {
+        "name": f"lazy_prefix_n{nodes}_m{edges}",
+        "nodes": nodes,
+        "edges": edges,
+        "index": lazy_kind,
+        "probe_vertices": LAZY_PROBE_VERTICES,
+        "eager": eager,
+        "lazy": lazy,
+        "build_speedup": build_speedup,
+        "diverged": eager["count"] != lazy["count"],
+    }
+    status = "DIVERGED" if lazy_prefix["diverged"] else "ok"
+    print(f"  {lazy_prefix['name']:42s} count={eager['count']:<10d} "
+          f"build {eager['build_s']:.4f}s -> {lazy['build_s']:.4f}s "
+          f"({build_speedup}x)  [{status}]")
+    return {"cases": cases, "lazy_prefix": lazy_prefix}
+
+
 def check_gates(cases: list[dict], min_speedup: float,
                 obs_overhead: "dict | None" = None,
                 max_obs_overhead: float = 0.0,
@@ -604,9 +766,38 @@ def check_gates(cases: list[dict], min_speedup: float,
                 bulk: "dict | None" = None,
                 min_build_speedup: float = 0.0,
                 parallel: "dict | None" = None,
-                min_parallel_speedup: float = 0.0) -> list[str]:
+                min_parallel_speedup: float = 0.0,
+                unified: "dict | None" = None,
+                min_unified_ratio: float = 0.0) -> list[str]:
     """Equivalence gate (always) and the optional speedup/overhead gates."""
     failures = []
+    if unified is not None:
+        for case in unified["cases"]:
+            if case["diverged"]:
+                counts = {label: case[label]["count"]
+                          for label in ("binary", "batch", "unified")}
+                failures.append(
+                    f"{case['name']}: unified plan counts diverged ({counts})"
+                )
+            if (min_unified_ratio > 0
+                    and (case["unified_ratio"] or 0) < min_unified_ratio):
+                failures.append(
+                    f"{case['name']}: unified ratio {case['unified_ratio']}x "
+                    f"below the {min_unified_ratio}x gate (best pure: "
+                    f"{case['best_pure']})"
+                )
+        lazy = unified["lazy_prefix"]
+        if lazy["diverged"]:
+            failures.append(
+                f"{lazy['name']}: lazy count {lazy['lazy']['count']} != "
+                f"eager count {lazy['eager']['count']}"
+            )
+        if min_unified_ratio > 0 and (lazy["build_speedup"] or 0) <= 1.0:
+            failures.append(
+                f"{lazy['name']}: lazy cold build ({lazy['lazy']['build_s']}s) "
+                f"did not beat the eager build "
+                f"({lazy['eager']['build_s']}s) on the prefix-only case"
+            )
     if parallel is not None:
         if parallel["diverged"]:
             failures.append(
@@ -726,6 +917,16 @@ def main(argv=None) -> int:
                         help="run only the parallel section (multiprocess "
                              "sharded scaling + equivalence); the CI "
                              "parallel-smoke job")
+    parser.add_argument("--min-unified-ratio", type=float, default=0.95,
+                        help="fail unless a unified stage-tree plan runs "
+                             "within this fraction of the better pure plan "
+                             "(total time) on every JOB-light case, and the "
+                             "lazy prefix-only case cuts the cold build "
+                             "(default: 0.95; <=0 disables the gate)")
+    parser.add_argument("--unified-only", action="store_true",
+                        help="run only the unified section (stage-tree vs "
+                             "pure plans + lazy prefix-only build); the CI "
+                             "unified-plan-smoke job")
     parser.add_argument("--max-obs-overhead", type=float, default=5.0,
                         help="fail if a disabled observer costs more than "
                              "this %% probe time vs no observer at all "
@@ -735,31 +936,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.smoke else 3)
 
-    partial = args.sessions_only or args.build_only or args.parallel_only
+    partial = (args.sessions_only or args.build_only or args.parallel_only
+               or args.unified_only)
+    cases: list[dict] = []
+    obs_overhead = sessions = bulk_build = parallel = unified = None
     if args.build_only:
-        cases: list[dict] = []
-        obs_overhead = None
-        sessions = None
         bulk_build = run_bulk_build(args.smoke, args.index, repeats)
-        parallel = None
     elif args.sessions_only:
-        cases = []
-        obs_overhead = None
         sessions = run_session_suite(args.smoke, args.index, repeats)
-        bulk_build = None
-        parallel = None
     elif args.parallel_only:
-        cases = []
-        obs_overhead = None
-        sessions = None
-        bulk_build = None
         parallel = run_parallel(args.smoke, args.index, repeats, args.workers)
+    elif args.unified_only:
+        unified = run_unified(args.smoke, args.index, repeats)
     else:
         cases = run_suite(args.smoke, args.index, repeats)
         obs_overhead = measure_obs_overhead(args.smoke, args.index)
         sessions = run_session_suite(args.smoke, args.index, repeats)
         bulk_build = run_bulk_build(args.smoke, args.index, repeats)
         parallel = run_parallel(args.smoke, args.index, repeats, args.workers)
+        unified = run_unified(args.smoke, args.index, repeats)
     failures = check_gates(cases, args.min_speedup,
                            obs_overhead=obs_overhead,
                            max_obs_overhead=args.max_obs_overhead,
@@ -768,7 +963,9 @@ def main(argv=None) -> int:
                            bulk=bulk_build,
                            min_build_speedup=args.min_build_speedup,
                            parallel=parallel,
-                           min_parallel_speedup=args.min_parallel_speedup)
+                           min_parallel_speedup=args.min_parallel_speedup,
+                           unified=unified,
+                           min_unified_ratio=args.min_unified_ratio)
 
     payload = {
         "suite": "generic_join_trajectory",
@@ -782,10 +979,12 @@ def main(argv=None) -> int:
         "obs_overhead": obs_overhead,
         "bulk_build": bulk_build,
         "parallel": parallel,
+        "unified": unified,
     }
     if partial:
         which = ("build-only" if args.build_only
                  else "parallel-only" if args.parallel_only
+                 else "unified-only" if args.unified_only
                  else "sessions-only")
         print(f"\n{which} run: not rewriting {args.output}")
     else:

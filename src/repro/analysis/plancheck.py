@@ -1,4 +1,4 @@
-"""Static plan validation (RA301–RA307) for queries and plan IR.
+"""Static plan validation (RA301–RA309) for queries and plan IR.
 
 Run *before* execution, these checks catch the plan-level mistakes that
 would otherwise surface as silently-wrong join results deep inside a
@@ -23,11 +23,19 @@ benchmark sweep:
 * **RA307** — a compiled plan carrying an unresolved or unknown
   algorithm/engine (``"auto"`` must be resolved by the plan stage; an
   executor dispatching an unknown name would mis-execute).
+* **RA308** — stage-tree malformation in a unified plan: a stage whose
+  algorithm is unresolved (``"auto"`` must not survive below the root),
+  a synthetic ``stage:`` atom with no matching child stage, a child
+  whose output does not cover the attributes its parent atom binds, a
+  duplicated child label, or a child stage that feeds no atom.
+* **RA309** — a lazy index spec on a kind that cannot materialize trie
+  levels one at a time (lazy builds need columnar truncated-prefix
+  bulk builds; only the level-at-a-time-capable kinds qualify).
 
 Feasibility of a given cover needs no LP — it is a linear scan — so this
 module stays dependency-free and cheap enough for
 :func:`repro.joins.executor.join` to run it on every call in debug mode
-(``debug=True`` or ``REPRO_DEBUG=1``).  The RA306/RA307 checks accept
+(``debug=True`` or ``REPRO_DEBUG=1``).  The RA306–RA309 checks accept
 any object shaped like :class:`repro.engine.ir.JoinPlan` (duck-typed,
 so this module never imports the engine package it validates).
 """
@@ -183,21 +191,36 @@ def _check_relations(query: JoinQuery,
 
 #: resolved algorithm names a compiled plan may carry (never "auto")
 _RESOLVED_ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog",
-                        "recursive")
+                        "recursive", "unified")
+#: resolved algorithm names a *stage* inside a unified tree may carry —
+#: stages are leaves of the dispatch, so "unified" must not recur
+_STAGE_ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog",
+                     "recursive")
 #: resolved engine names ("" = not applicable, i.e. non-generic plans)
 _RESOLVED_ENGINES = ("", "tuple", "batch")
+#: alias prefix marking a synthetic atom fed by a child stage's output
+#: (mirrors repro.engine.ir.STAGE_ALIAS_PREFIX; kept as a literal so
+#: the validator stays free of engine imports)
+_STAGE_PREFIX = "stage:"
+#: index kinds whose adapters can materialize trie levels one at a
+#: time (mirrors repro.indexes.lazy.LAZY_CAPABLE_KINDS; the registry
+#: cross-check test pins the two tuples together)
+_LAZY_KINDS = ("sonic", "sortedtrie")
 
 
 def validate_join_plan(plan,
                        relations: "Mapping[str, object] | None" = None,
                        ) -> list[PlanIssue]:
-    """RA306/RA307 checks over a compiled :class:`~repro.engine.ir.JoinPlan`.
+    """RA306–RA309 checks over a compiled :class:`~repro.engine.ir.JoinPlan`.
 
     ``plan`` is duck-typed (``query`` / ``algorithm`` / ``engine`` /
-    ``total_order`` / ``atom_order`` / ``index_specs`` attributes) so
-    the validator has no dependency on the engine package.  With
-    ``relations``, spec permutations are additionally checked against
-    each relation's actual arity.
+    ``total_order`` / ``atom_order`` / ``index_specs`` /
+    ``root_stage`` attributes) so the validator has no dependency on
+    the engine package.  With ``relations``, spec permutations are
+    additionally checked against each relation's actual arity.  For
+    ``algorithm == "unified"`` the checks recurse over the stage tree:
+    each stage is validated like a small flat plan (RA306/RA309 on its
+    specs and orders) plus the tree-shape rules (RA308).
     """
     issues: list[PlanIssue] = []
 
@@ -216,9 +239,39 @@ def validate_join_plan(plan,
             f"a compiled plan must name one of {_RESOLVED_ENGINES}",
         ))
 
+    if algorithm == "unified":
+        root = getattr(plan, "root_stage", None)
+        if root is None:
+            issues.append(PlanIssue(
+                "RA308",
+                "unified plan carries no root stage: the stage tree is "
+                "the whole execution recipe and cannot be empty",
+            ))
+        else:
+            issues.extend(_check_stage_tree(root, relations))
+        return issues
+
     query = plan.query
     aliases = {atom.alias for atom in query.atoms}
-    specs = tuple(plan.index_specs)
+    spec_issues, seen = _check_specs(aliases, tuple(plan.index_specs),
+                                     relations)
+    issues.extend(spec_issues)
+    issues.extend(_check_plan_shape(algorithm, query, aliases, seen,
+                                    tuple(getattr(plan, "atom_order", ())),
+                                    tuple(getattr(plan, "total_order", ()))))
+    return issues
+
+
+def _check_specs(aliases: set,
+                 specs: tuple,
+                 relations: "Mapping[str, object] | None",
+                 ) -> "tuple[list[PlanIssue], set[str]]":
+    """Per-spec RA306/RA309 checks, shared by flat plans and stages.
+
+    Returns the issues plus the set of aliases carrying a spec (the
+    shape checks compare it against the expected atom coverage).
+    """
+    issues: list[PlanIssue] = []
     seen: set[str] = set()
     for spec in specs:
         if spec.alias not in aliases:
@@ -261,6 +314,14 @@ def validate_join_plan(plan,
                 f"{spec.key_arity} outside its {len(spec.attribute_order)} "
                 "attributes",
             ))
+        if getattr(spec, "lazy", False) and spec.kind not in _LAZY_KINDS:
+            issues.append(PlanIssue(
+                "RA309",
+                f"index spec for {spec.alias!r} requests a lazy build on "
+                f"kind {spec.kind!r}, which cannot materialize trie levels "
+                f"one at a time; lazy builds are limited to "
+                f"{list(_LAZY_KINDS)}",
+            ))
         if relations is not None and spec.alias in (relations or {}):
             arity = getattr(relations[spec.alias], "arity", None)
             if arity is not None and len(spec.permutation) > arity:
@@ -270,9 +331,15 @@ def validate_join_plan(plan,
                     f"{len(spec.permutation)} columns but its relation "
                     f"has arity {arity}",
                 ))
+    return issues, seen
 
+
+def _check_plan_shape(algorithm, query, aliases: set, seen: set,
+                      atom_order: tuple, total_order: tuple,
+                      ) -> list[PlanIssue]:
+    """Algorithm-specific coverage/order checks (flat plans and stages)."""
+    issues: list[PlanIssue] = []
     if algorithm == "binary":
-        atom_order = tuple(getattr(plan, "atom_order", ()))
         if sorted(atom_order) != sorted(aliases):
             issues.append(PlanIssue(
                 "RA306",
@@ -288,15 +355,90 @@ def validate_join_plan(plan,
                     f"per non-leading atom {sorted(expected)}, got "
                     f"{sorted(seen)}",
                 ))
-    elif algorithm in _RESOLVED_ALGORITHMS:
+    elif algorithm in _STAGE_ALGORITHMS:
         if seen != aliases:
             issues.append(PlanIssue(
                 "RA306",
                 f"plan must carry exactly one index spec per atom "
                 f"{sorted(aliases)}, got {sorted(seen)}",
             ))
-        issues.extend(_check_order(query, plan.total_order))
+        issues.extend(_check_order(query, total_order))
+    return issues
 
+
+def _check_stage_tree(root,
+                      relations: "Mapping[str, object] | None",
+                      ) -> list[PlanIssue]:
+    """RA308 tree-shape checks plus per-stage RA306/RA309 spec checks.
+
+    Stages are duck-typed like :class:`repro.engine.ir.PlanStage`
+    (``label`` / ``algorithm`` / ``query`` / ``output`` /
+    ``index_specs`` / ``atom_order`` / ``total_order`` / ``children``).
+    """
+    issues: list[PlanIssue] = []
+    stack = [root]
+    while stack:
+        stage = stack.pop()
+        label = getattr(stage, "label", "?")
+        algorithm = getattr(stage, "algorithm", None)
+        if algorithm not in _STAGE_ALGORITHMS:
+            issues.append(PlanIssue(
+                "RA308",
+                f"stage {label!r} carries unresolved or unknown algorithm "
+                f"{algorithm!r}; every stage of a unified plan must name "
+                f"one of {_STAGE_ALGORITHMS} — 'auto' must not survive "
+                "below the root",
+            ))
+        children = tuple(getattr(stage, "children", ()))
+        child_outputs: dict[str, set] = {}
+        for child in children:
+            child_label = getattr(child, "label", "?")
+            feeder = _STAGE_PREFIX + str(child_label)
+            if feeder in child_outputs:
+                issues.append(PlanIssue(
+                    "RA308",
+                    f"stage {label!r} has two child stages labelled "
+                    f"{child_label!r}; the feeder aliases would collide",
+                ))
+            child_outputs[feeder] = set(getattr(child, "output", ()))
+            stack.append(child)
+        fed: set[str] = set()
+        query = getattr(stage, "query", None)
+        atoms = tuple(getattr(query, "atoms", ()))
+        for atom in atoms:
+            if not atom.alias.startswith(_STAGE_PREFIX):
+                continue
+            if atom.alias not in child_outputs:
+                issues.append(PlanIssue(
+                    "RA308",
+                    f"stage {label!r} probes synthetic atom "
+                    f"{atom.alias!r} with no matching child stage",
+                ))
+                continue
+            fed.add(atom.alias)
+            missing = sorted(set(atom.attributes) - child_outputs[atom.alias])
+            if missing:
+                issues.append(PlanIssue(
+                    "RA308",
+                    f"child stage feeding {atom.alias!r} outputs "
+                    f"{sorted(child_outputs[atom.alias])} but the parent "
+                    f"atom binds uncovered attributes {missing}",
+                ))
+        unconsumed = sorted(set(child_outputs) - fed)
+        if unconsumed:
+            issues.append(PlanIssue(
+                "RA308",
+                f"stage {label!r} has child stages {unconsumed} whose "
+                "output feeds no atom in its query",
+            ))
+        aliases = {atom.alias for atom in atoms}
+        spec_issues, seen = _check_specs(
+            aliases, tuple(getattr(stage, "index_specs", ())), relations)
+        issues.extend(spec_issues)
+        issues.extend(_check_plan_shape(
+            algorithm, query, aliases, seen,
+            tuple(getattr(stage, "atom_order", ())),
+            tuple(getattr(stage, "total_order", ()))))
     return issues
 
 

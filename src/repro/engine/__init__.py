@@ -22,8 +22,10 @@ from repro.engine.ir import (
     BoundQuery,
     IndexSpec,
     JoinPlan,
+    PlanStage,
     ShardingSpec,
     canonical_options,
+    stage_alias,
 )
 from repro.engine.pipeline import ALGORITHMS, ENGINES, bind, plan, prepare
 from repro.engine.prepared import PreparedJoin
@@ -39,6 +41,7 @@ __all__ = [
     "IndexCache",
     "IndexSpec",
     "JoinPlan",
+    "PlanStage",
     "PreparedJoin",
     "Session",
     "ShardingSpec",
@@ -48,4 +51,5 @@ __all__ = [
     "estimate_structure_bytes",
     "plan",
     "prepare",
+    "stage_alias",
 ]

@@ -90,12 +90,16 @@ class CacheStats:
 
 
 class _Entry:
-    __slots__ = ("value", "bytes", "fingerprint")
+    __slots__ = ("value", "bytes", "fingerprint", "built_depth")
 
-    def __init__(self, value: object, bytes_: int, fingerprint: tuple):
+    def __init__(self, value: object, bytes_: int, fingerprint: tuple,
+                 built_depth: "int | None" = None):
         self.value = value
         self.bytes = bytes_
         self.fingerprint = fingerprint
+        #: lazy adapters only: how many trie levels were materialized
+        #: when the entry was last charged (None for eager structures)
+        self.built_depth = built_depth
 
 
 class IndexCache:
@@ -175,7 +179,8 @@ class IndexCache:
         if evicted:
             self.metrics.inc("cache.evict", evicted)
 
-    def put_if_absent(self, key: tuple, value: object, bytes_: int) -> object:
+    def put_if_absent(self, key: tuple, value: object, bytes_: int,
+                      built_depth: "int | None" = None) -> object:
         """Publish a built structure unless one is already cached.
 
         The compare-and-swap half of the prepare stage's miss path: the
@@ -184,6 +189,9 @@ class IndexCache:
         first thread's structure instead of displacing it, and the loser
         is counted as ``cache.race`` (its build was wasted work, not a
         store).  Returns the canonical structure to use.
+
+        ``built_depth`` seeds the lazy-adapter depth component (see
+        :meth:`upgrade_depth`); eager structures leave it ``None``.
         """
         if not self.enabled:
             return value
@@ -193,7 +201,8 @@ class IndexCache:
             if existing is not None:
                 self._entries.move_to_end(key)
             else:
-                self._entries[key] = _Entry(value, bytes_, key[0])
+                self._entries[key] = _Entry(value, bytes_, key[0],
+                                            built_depth=built_depth)
                 self._bytes += bytes_
                 self._stores += 1
                 evicted = self._evict_to_budget()
@@ -205,19 +214,69 @@ class IndexCache:
             self.metrics.inc("cache.evict", evicted)
         return value
 
+    def upgrade_depth(self, key: tuple, built_depth: int, bytes_: int) -> bool:
+        """Record that a cached lazy adapter materialized deeper levels.
+
+        A lazy entry is stored shallow and cheap; when a join descends
+        further, the adapter's deepen callback reports the new depth and
+        the re-estimated byte footprint here, upgrading the cached entry
+        **in place** — the deeper build replaces the shallow charge, no
+        re-keying, no duplicate entry.  No-ops (returning False) when
+        the entry has been evicted/invalidated meanwhile or the recorded
+        depth is already at least as deep; a growing footprint can push
+        colder entries out of the byte budget.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if entry.built_depth is not None and entry.built_depth >= built_depth:
+                return False
+            self._bytes += bytes_ - entry.bytes
+            entry.bytes = bytes_
+            entry.built_depth = built_depth
+            evicted = self._evict_to_budget()
+        if evicted:
+            self.metrics.inc("cache.evict", evicted)
+        return True
+
+    def built_depth(self, key: tuple) -> "int | None":
+        """The recorded lazy build depth for ``key`` (None when absent
+        or eager)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.built_depth if entry is not None else None
+
     def invalidate_relation(self, relation: Relation) -> int:
         """Drop every entry built from ``relation``'s storage, any version.
 
         Fingerprint mismatches already keep stale entries from being
         *served*; this additionally releases their memory eagerly (used
         by :meth:`Session.invalidate`).  Returns the number dropped.
+
+        Structures that advertise ``CLOSE_ON_INVALIDATE`` (partially
+        built lazy adapters) are additionally ``close()``\\ d — *after*
+        the lock is released, preserving the never-hold-the-lock-across
+        -structure-work discipline.  Closing detaches the adapter's
+        cache-upgrade callback mid-materialization; its pinned snapshot
+        stays consistent for any reader still holding it, so a
+        concurrent ``extend()`` can never expose a half-built level over
+        mixed old/new rows.
         """
         storage_id = id(relation.rows)
+        closeable = []
         with self._lock:
             doomed = [key for key, entry in self._entries.items()
                       if entry.fingerprint[0] == storage_id]
             for key in doomed:
+                entry = self._entries[key]
+                if getattr(entry.value, "CLOSE_ON_INVALIDATE", False):
+                    closeable.append(entry.value)
                 self._drop(key)
+        for value in closeable:
+            value.close()
         if doomed:
             self.metrics.inc("cache.evict", len(doomed))
         return len(doomed)

@@ -57,6 +57,12 @@ class IndexSpec:
     ``key_arity`` is only meaningful for ``kind="hashtable"`` (binary
     pipeline stages): the first ``key_arity`` entries of
     ``attribute_order`` are the probe key, the rest the payload.
+
+    ``lazy`` requests a :class:`~repro.indexes.lazy.LazyTrieAdapter`
+    instead of an eager build: trie levels materialize on first descent
+    (the Free Join COLT strategy promoted from probe-time memoization to
+    a build strategy).  Only kinds with level-at-a-time bulk builds
+    qualify (RA309 in :mod:`repro.analysis.plancheck`).
     """
 
     alias: str
@@ -65,10 +71,82 @@ class IndexSpec:
     permutation: tuple[int, ...]
     options: tuple[tuple[str, object], ...] = ()
     key_arity: "int | None" = None
+    lazy: bool = False
 
     def cache_key_suffix(self) -> tuple:
-        """The relation-independent part of this spec's cache key."""
-        return (self.kind, self.permutation, self.options, self.key_arity)
+        """The relation-independent part of this spec's cache key.
+
+        Lazy specs get a distinct suffix — a partially-built lazy
+        adapter and an eager index are different structure types and
+        must never alias one cache entry.  Eager specs keep the
+        historical 4-tuple shape so pre-existing cache keys survive.
+        """
+        suffix = (self.kind, self.permutation, self.options, self.key_arity)
+        if self.lazy:
+            return suffix + ("lazy",)
+        return suffix
+
+
+#: alias prefix that marks an atom as fed by a child stage's output
+STAGE_ALIAS_PREFIX = "stage:"
+
+
+def stage_alias(label: str) -> str:
+    """The synthetic atom alias a child stage's output binds to."""
+    return STAGE_ALIAS_PREFIX + label
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One node of a unified stage-tree plan.
+
+    A stage is a self-contained sub-plan — a binary hash pipeline, a
+    Generic Join sub-plan, or a recursive leaf — over ``query``, whose
+    atoms are either base-relation atoms (their structures come from
+    ``index_specs``) or synthetic ``stage:<label>`` atoms fed by the
+    correspondingly-labelled child stage's materialized output.  The
+    execute stage runs children depth-first, wraps each child's rows as
+    an intermediate :class:`~repro.storage.relation.Relation`, and then
+    runs this stage's driver over base + intermediate relations — the
+    Free Join / unified-architecture shape where binary pipeline stages
+    and WCOJ sub-plans compose in one query.
+
+    ``output`` is the stage's result schema, in emission order; a parent
+    stage's synthetic atom carries exactly these attributes (RA308).
+    ``algorithm`` is always resolved — ``"auto"`` never survives below
+    the root (RA308).  ``choice`` records the per-component hybrid
+    optimizer rationale.
+    """
+
+    label: str
+    algorithm: str
+    query: JoinQuery
+    output: tuple[str, ...]
+    engine: str = ""
+    index: str = ""
+    total_order: tuple[str, ...] = ()
+    atom_order: tuple[str, ...] = ()
+    index_specs: tuple[IndexSpec, ...] = ()
+    children: "tuple[PlanStage, ...]" = ()
+    choice: "PlanChoice | None" = None
+
+    def describe(self, indent: int = 0) -> str:
+        """The nested multi-line stage form (EXPLAIN / tests)."""
+        head = self.algorithm
+        if self.engine:
+            head += f"/{self.engine}"
+        if self.index:
+            head += f" index={self.index}"
+        if self.total_order:
+            head += f" order={','.join(self.total_order)}"
+        if self.atom_order:
+            head += f" atoms={','.join(self.atom_order)}"
+        if any(spec.lazy for spec in self.index_specs):
+            head += " lazy"
+        lines = [("  " * indent) + f"- stage {self.label}: {head}"]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -104,6 +182,11 @@ class JoinPlan:
     binary pipeline, whose order lives in ``atom_order`` instead.
     ``choice`` carries the hybrid optimizer's rationale when it ran
     (``algorithm="auto"`` or a profiled run).
+
+    ``algorithm="unified"`` plans carry a :class:`PlanStage` tree in
+    ``root_stage``; the flat ``index_specs``/``total_order`` fields stay
+    empty and every spec lives on its stage (:meth:`iter_specs` walks
+    the tree for the prepare stage).
     """
 
     query: JoinQuery
@@ -116,16 +199,37 @@ class JoinPlan:
     dynamic_seed: bool = True
     choice: "PlanChoice | None" = None
     sharding: "ShardingSpec | None" = None
+    root_stage: "PlanStage | None" = None
 
     def spec_for(self, alias: str) -> IndexSpec:
         """The :class:`IndexSpec` prepared for atom ``alias``."""
-        for spec in self.index_specs:
+        for spec in self.iter_specs():
             if spec.alias == alias:
                 return spec
         raise KeyError(f"no index spec for alias {alias!r} in plan")
 
+    def iter_specs(self):
+        """Every :class:`IndexSpec` this plan needs built.
+
+        Flat plans yield ``index_specs``; unified plans walk the stage
+        tree depth-first.  Atom aliases are query-unique, so the
+        flattened specs key a single structures dict without collision.
+        """
+        if self.root_stage is None:
+            yield from self.index_specs
+            return
+        stack = [self.root_stage]
+        while stack:
+            stage = stack.pop()
+            yield from stage.index_specs
+            stack.extend(stage.children)
+
     def describe(self) -> str:
-        """One-line plan summary (CLI / EXPLAIN output)."""
+        """Plan summary (CLI / EXPLAIN output).
+
+        Flat plans render one line; unified plans append the nested
+        stage-tree form, one indented line per stage.
+        """
         head = f"{self.algorithm}"
         if self.engine:
             head += f"/{self.engine}"
@@ -137,6 +241,8 @@ class JoinPlan:
             head += f" atoms={','.join(self.atom_order)}"
         if self.sharding is not None:
             head += f" {self.sharding.describe()}"
+        if self.root_stage is not None:
+            head += "\n" + self.root_stage.describe(indent=1)
         return head
 
 

@@ -50,20 +50,29 @@ from repro.engine.ir import (
     BoundQuery,
     IndexSpec,
     JoinPlan,
+    PlanStage,
     ShardingSpec,
     canonical_options,
+    stage_alias,
 )
 from repro.engine.prepared import PreparedJoin
 from repro.errors import ConfigurationError, QueryError, SchemaError
+from repro.indexes.lazy import LAZY_CAPABLE_KINDS, LazyTrieAdapter
 from repro.indexes.registry import make_index
 from repro.joins.binary import build_stage_table, plan_pipeline
 from repro.joins.executor import ALGORITHMS, ENGINES, resolve_relations
 from repro.joins.results import Stopwatch
 from repro.obs.observer import NULL_OBSERVER
 from repro.planner.cardinality import Statistics
-from repro.planner.optimizer import HybridOptimizer, greedy_join_order
+from repro.planner.hypergraph import Hypergraph
+from repro.planner.optimizer import (
+    HybridOptimizer,
+    PlanChoice,
+    cyclic_core,
+    greedy_join_order,
+)
 from repro.planner.qptree import connectivity_order
-from repro.planner.query import JoinQuery, parse_query
+from repro.planner.query import Atom, JoinQuery, parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 
@@ -71,11 +80,15 @@ from repro.storage.relation import Relation
 #: ConfigurationError at plan time (the seed swallowed them silently)
 _ALLOWED_OPTIONS = {
     "generic": frozenset({"sonic_overallocation", "sonic_bucket_size",
-                          "index_options"}),
+                          "index_options", "lazy"}),
     "hashtrie": frozenset({"lazy", "singleton_pruning"}),
     "binary": frozenset(),
     "leapfrog": frozenset(),
     "recursive": frozenset(),
+    # the unified planner builds generic sub-stages, so it honors the
+    # generic option set (including lazy COLT builds)
+    "unified": frozenset({"sonic_overallocation", "sonic_bucket_size",
+                          "index_options", "lazy"}),
 }
 
 
@@ -146,7 +159,9 @@ def plan(bound: BoundQuery,
         # actual), so an enabled observer computes it even off the auto path
         choice = None
         stats = None
-        if algorithm == "auto" or observer.enabled:
+        if algorithm in ("auto", "unified") or observer.enabled:
+            # the unified planner always needs statistics: the stage
+            # split is a per-component optimizer decision
             with observer.tracer.span("optimize"):
                 stats = Statistics.collect(relations.values())
                 choice = HybridOptimizer().choose(query, stats)
@@ -155,7 +170,11 @@ def plan(bound: BoundQuery,
             algorithm = "binary" if choice.algorithm == "binary" else "generic"
         _validate_index_kwargs(requested, algorithm, index, kwargs)
 
-        if algorithm == "binary":
+        if algorithm == "unified":
+            result = _plan_unified(query, relations, order, binary_order,
+                                   index, engine, dynamic_seed, choice,
+                                   stats, kwargs)
+        elif algorithm == "binary":
             result = _plan_binary(query, relations, binary_order, stats,
                                   dynamic_seed, choice)
         else:
@@ -174,6 +193,10 @@ def plan(bound: BoundQuery,
             else:
                 result = _plan_recursive(query, total, dynamic_seed, choice)
         workers = _resolve_workers(parallel)
+        if workers and result.algorithm == "unified":
+            raise ConfigurationError(
+                "unified stage-tree plans do not support sharded execution; "
+                "drop parallel= or choose a flat algorithm")
         if workers:
             # shard on the leading attribute: every result tuple binds
             # it to exactly one value, so shard results are disjoint
@@ -224,7 +247,7 @@ def prepare(bound: BoundQuery, join_plan: JoinPlan,
     structures: dict[str, object] = {}
     watch = Stopwatch()
     with observer.tracer.span("prepare"):
-        for spec in join_plan.index_specs:
+        for spec in join_plan.iter_specs():
             relation = bound.relations[spec.alias]
             key = None
             structure = None
@@ -253,12 +276,33 @@ def prepare(bound: BoundQuery, join_plan: JoinPlan,
                     # the same key first, adopt its structure so every
                     # concurrent preparer shares one canonical build and
                     # the LRU byte accounting never double-charges
-                    structure = cache.put_if_absent(
-                        key, structure, estimate_structure_bytes(
-                            structure, len(relation), relation.arity))
+                    if isinstance(structure, LazyTrieAdapter):
+                        # hook the deepen callback *before* publishing, so
+                        # no descent can slip between publish and hookup;
+                        # a CAS loss discards this adapter (nothing built
+                        # yet) and adopts the winner's, callback included
+                        structure.on_deepen = _depth_upgrader(
+                            cache, key, len(relation), relation.arity)
+                        structure = cache.put_if_absent(
+                            key, structure, estimate_structure_bytes(
+                                structure, len(relation), relation.arity),
+                            built_depth=structure.built_depth)
+                    else:
+                        structure = cache.put_if_absent(
+                            key, structure, estimate_structure_bytes(
+                                structure, len(relation), relation.arity))
             structures[spec.alias] = structure
     build_seconds = watch.lap()
     return PreparedJoin(bound, join_plan, structures, build_seconds)
+
+
+def _depth_upgrader(cache: IndexCache, key: tuple, tuples: int, arity: int):
+    """The lazy adapter's deepen callback: upgrade the cached entry in
+    place — new ``built_depth``, re-estimated byte charge."""
+    def _on_deepen(adapter) -> None:
+        cache.upgrade_depth(key, adapter.built_depth,
+                            estimate_structure_bytes(adapter, tuples, arity))
+    return _on_deepen
 
 
 def _prepare_sharded(bound: BoundQuery, join_plan: JoinPlan,
@@ -333,20 +377,40 @@ def _prepare_sharded(bound: BoundQuery, join_plan: JoinPlan,
 # Per-algorithm planners
 # ----------------------------------------------------------------------
 
-def _plan_generic(query: JoinQuery, relations: Mapping[str, Relation],
-                  total: tuple[str, ...], index: str, engine: str,
-                  dynamic_seed: bool, choice, kwargs: dict) -> JoinPlan:
+def _resolve_generic_engine(index: str, engine: str) -> str:
     if engine == "auto":
         # SUPPORTS_BATCH is a class attribute, so one arity-2 probe
         # instance answers for every adapter the prepare stage will build
-        engine = "batch" if make_index(index, 2).SUPPORTS_BATCH else "tuple"
+        return "batch" if make_index(index, 2).SUPPORTS_BATCH else "tuple"
+    return engine
+
+
+def _generic_options(index: str, kwargs: dict) -> dict:
     options = dict(kwargs.get("index_options") or {})
     if index == "sonic":
         options["bucket_size"] = kwargs.get("sonic_bucket_size", 8)
         options["overallocation"] = kwargs.get("sonic_overallocation", 2.0)
+    return options
+
+
+def _resolve_lazy(index: str, kwargs: dict) -> bool:
+    lazy = bool(kwargs.get("lazy", False))
+    if lazy and index not in LAZY_CAPABLE_KINDS:
+        raise ConfigurationError(
+            f"index {index!r} has no level-at-a-time build; lazy=True "
+            f"requires one of {sorted(LAZY_CAPABLE_KINDS)}")
+    return lazy
+
+
+def _plan_generic(query: JoinQuery, relations: Mapping[str, Relation],
+                  total: tuple[str, ...], index: str, engine: str,
+                  dynamic_seed: bool, choice, kwargs: dict) -> JoinPlan:
+    engine = _resolve_generic_engine(index, engine)
+    options = _generic_options(index, kwargs)
+    lazy = _resolve_lazy(index, kwargs)
     specs = tuple(
         _structure_spec(relations[atom.alias], atom.alias, index, total,
-                        options)
+                        options, lazy=lazy)
         for atom in query.atoms
     )
     return JoinPlan(query=query, algorithm="generic", engine=engine,
@@ -426,9 +490,120 @@ def _plan_binary(query: JoinQuery, relations: Mapping[str, Relation],
                     dynamic_seed=dynamic_seed, choice=choice)
 
 
+def _plan_unified(query: JoinQuery, relations: Mapping[str, Relation],
+                  order: "Sequence[str] | None",
+                  binary_order: "Sequence[str] | None",
+                  index: str, engine: str, dynamic_seed: bool,
+                  choice: PlanChoice, stats: Statistics,
+                  kwargs: dict) -> JoinPlan:
+    """Compile a stage-tree plan: per-component binary/WCOJ stages.
+
+    GYO reduction splits the query's hypergraph: the surviving edges —
+    the **cyclic core** — get a Generic Join sub-stage (worst-case
+    optimal where the AGM bound actually bites), the removed ears get a
+    binary hash pipeline stage probing *into the core stage's output*
+    (which joins as a synthetic ``stage:core`` relation).  A query that
+    is entirely acyclic, entirely cyclic, or a single atom degenerates
+    to one root stage running whatever the hybrid optimizer picked —
+    the unified plan never does worse than the better flat plan by
+    construction of the split.
+    """
+    engine = _resolve_generic_engine(index, engine)
+    options = _generic_options(index, kwargs)
+    lazy = _resolve_lazy(index, kwargs)
+
+    def generic_stage(label: str, sub_query: JoinQuery,
+                      total: tuple[str, ...], stage_choice) -> PlanStage:
+        specs = tuple(
+            _structure_spec(relations[atom.alias], atom.alias, index, total,
+                            options, lazy=lazy)
+            for atom in sub_query.atoms
+        )
+        return PlanStage(label=label, algorithm="generic", query=sub_query,
+                         output=total, engine=engine, index=index,
+                         total_order=total, index_specs=specs,
+                         choice=stage_choice)
+
+    def binary_stage(label: str, sub_query: JoinQuery,
+                     atom_order: Sequence[str],
+                     children: tuple = (),
+                     stage_choice=None) -> PlanStage:
+        stages, output_attrs = plan_pipeline(sub_query, relations, atom_order)
+        specs = tuple(
+            IndexSpec(alias=stage["alias"], kind=HASHTABLE_KIND,
+                      attribute_order=(stage["key_attrs"]
+                                       + stage["payload_attrs"]),
+                      permutation=(stage["key_positions"]
+                                   + stage["payload_positions"]),
+                      key_arity=len(stage["key_attrs"]))
+            for stage in stages
+        )
+        return PlanStage(label=label, algorithm="binary", query=sub_query,
+                         output=tuple(output_attrs),
+                         atom_order=tuple(atom_order), index_specs=specs,
+                         children=children, choice=stage_choice)
+
+    core = cyclic_core(Hypergraph.from_query(query))
+    aliases = [atom.alias for atom in query.atoms]
+
+    if core and core != set(aliases):
+        # mixed plan: WCOJ over the cyclic core, binary ears on top
+        core_atoms = tuple(a for a in query.atoms if a.alias in core)
+        core_query = JoinQuery(core_atoms)
+        core_order = tuple(connectivity_order(core_query))
+        core_choice = HybridOptimizer().choose(core_query, stats)
+        child = generic_stage("core", core_query, core_order, core_choice)
+
+        feeder = stage_alias(child.label)
+        synthetic = Atom(relation=feeder, attributes=child.output,
+                         alias=feeder)
+        ears = [a for a in query.atoms if a.alias not in core]
+        parent_query = JoinQuery((synthetic,) + tuple(ears))
+        # ear order: greedy — connected to the bound attributes first,
+        # then smallest relation (the core output's cardinality is
+        # unknown at plan time, so it always leads)
+        atom_order = [feeder]
+        bound_attrs = set(child.output)
+        remaining = {a.alias for a in ears}
+        while remaining:
+            connected = [al for al in sorted(remaining)
+                         if set(query.attributes_of(al)) & bound_attrs]
+            pick = min(connected or sorted(remaining),
+                       key=lambda al: (stats.cardinality(al), al))
+            atom_order.append(pick)
+            remaining.discard(pick)
+            bound_attrs |= set(query.attributes_of(pick))
+        root_choice = PlanChoice(
+            "binary",
+            "GYO ear atoms: acyclic attachments probe the core stage's "
+            "output with binary hash joins",
+            choice.agm_bound, choice.binary_estimate)
+        root = binary_stage("root", parent_query, atom_order,
+                            children=(child,), stage_choice=root_choice)
+    elif choice.algorithm == "binary":
+        # fully acyclic (or single-atom) query: one binary root stage
+        if binary_order is not None:
+            atom_order = list(binary_order)
+            if sorted(atom_order) != sorted(aliases):
+                raise QueryError(
+                    f"join order {atom_order} does not cover the query atoms")
+        else:
+            atom_order = greedy_join_order(query, stats)
+        root = binary_stage("root", query, atom_order, stage_choice=choice)
+    else:
+        # fully cyclic (or growth-prone) query: one generic root stage
+        total = tuple(order) if order else tuple(connectivity_order(query))
+        root = generic_stage("root", query, total, choice)
+
+    return JoinPlan(query=query, algorithm="unified", engine=engine,
+                    index=index, dynamic_seed=dynamic_seed, choice=choice,
+                    root_stage=root)
+
+
 def _structure_spec(relation: Relation, alias: str, kind: str,
                     total: Sequence[str],
-                    options: "Mapping[str, object] | None") -> IndexSpec:
+                    options: "Mapping[str, object] | None",
+                    lazy: bool = False) -> IndexSpec:
     """An :class:`IndexSpec` for a registry-index structure under ``total``.
 
     Mirrors :class:`~repro.core.adapter.IndexAdapter`'s order projection
@@ -447,7 +622,7 @@ def _structure_spec(relation: Relation, alias: str, kind: str,
     return IndexSpec(alias=alias, kind=kind, attribute_order=attribute_order,
                      permutation=relation.schema.permutation_to(
                          attribute_order),
-                     options=canonical_options(options))
+                     options=canonical_options(options), lazy=lazy)
 
 
 def _validate_index_kwargs(requested: str, resolved: str, index: str,
@@ -468,7 +643,8 @@ def _validate_index_kwargs(requested: str, resolved: str, index: str,
             f"algorithm {resolved!r} cannot honor index option(s) "
             f"{unknown}; it accepts {sorted(allowed) or 'none'}"
         )
-    if (requested != "auto" and resolved == "generic" and index != "sonic"
+    if (requested != "auto" and resolved in ("generic", "unified")
+            and index != "sonic"
             and any(k.startswith("sonic_") for k in kwargs)):
         sonic_only = sorted(k for k in kwargs if k.startswith("sonic_"))
         raise ConfigurationError(
@@ -489,6 +665,12 @@ def _build_structure(spec: IndexSpec, relation: Relation) -> object:
                                  spec.permutation[key_arity:])
     if spec.kind == TUPLESET_KIND:
         return frozenset(relation.rows)
+    if spec.lazy:
+        # O(1) prepare: pin the column snapshot, build nothing — levels
+        # materialize on first descent and their cost surfaces in the
+        # executing run's metrics.build_seconds (§5.15 accounting)
+        return LazyTrieAdapter(relation, spec.kind, spec.attribute_order,
+                               spec.permutation, options=dict(spec.options))
     options = dict(spec.options)
     presort = options.pop("sorted", False)
     if spec.kind == "sonic":

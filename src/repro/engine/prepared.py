@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from repro.core.adapter import IndexAdapter
 from repro.core.envflag import resolve_flag
-from repro.engine.ir import BoundQuery, JoinPlan
+from repro.engine.ir import BoundQuery, JoinPlan, PlanStage, stage_alias
 from repro.joins.batch import GenericJoinBatch
 from repro.joins.binary import BinaryHashJoin
 from repro.joins.executor import attach_profile
@@ -38,6 +38,7 @@ from repro.joins.leapfrog import LeapfrogTrieJoin
 from repro.joins.recursive import RecursiveJoin
 from repro.joins.results import JoinResult
 from repro.obs.observer import JoinObserver, NULL_OBSERVER
+from repro.storage.relation import Relation
 
 
 class PreparedJoin:
@@ -71,6 +72,11 @@ class PreparedJoin:
 
             self._runner = ShardedRunner(self.bound, plan, self.structures,
                                          owned=self._owned_shards)
+            return
+        if algorithm == "unified":
+            # stage drivers assemble per execution: child stages emit
+            # intermediate relations at run time, so there is nothing
+            # useful to wire up ahead of the first execute()
             return
         if algorithm in ("generic", "hashtrie"):
             # adapters are stateless (relation, index, permutation)
@@ -133,6 +139,9 @@ class PreparedJoin:
             return self._runner.execute(materialize=materialize,
                                         obs=observer, build_charge=charge,
                                         trace_out=trace_out)
+        if plan.algorithm == "unified":
+            return self._execute_unified(materialize, observer, charge,
+                                         trace_out)
         if plan.algorithm == "binary":
             driver = BinaryHashJoin(
                 query, relations, order=list(plan.atom_order), obs=observer,
@@ -165,8 +174,144 @@ class PreparedJoin:
             engine = plan.engine
         driver.metrics.build_seconds = charge
         result = driver.run(materialize=materialize)
+        lazy_charge = self._drain_lazy_charges()
+        if lazy_charge:
+            # deferred lazy-build time surfaces on the run that actually
+            # materialized the levels (§5.15 build-included timing)
+            result.metrics.build_seconds += lazy_charge
         return attach_profile(query, result, observer, plan.choice, order,
                               engine=engine, trace_out=trace_out)
+
+    def _drain_lazy_charges(self) -> float:
+        """Collect pending lazy materialization time from the structures."""
+        total = 0.0
+        for structure in self.structures.values():
+            take = getattr(structure, "take_pending_charge", None)
+            if callable(take):
+                total += take()
+        return total
+
+    # ------------------------------------------------------------------
+    def _execute_unified(self, materialize: bool, observer, charge: float,
+                         trace_out: "str | None") -> JoinResult:
+        """Run a stage-tree plan: children depth-first, root last.
+
+        The root stage runs under the caller's observer (so the profile's
+        level tree describes the root driver); child stages get private
+        observers when profiling is on, and their per-stage summaries
+        land on ``profile.stages``.  Lazy structures drain their pending
+        materialization time into this run's ``metrics.build_seconds`` —
+        deferred build cost surfaces on the execution that incurred it,
+        preserving the §5.15 build-included timing contract.
+        """
+        plan = self.plan
+        relations = dict(self.bound.relations)
+        result, reports = self._run_stage(plan.root_stage, relations,
+                                          observer, materialize, depth=0)
+        metrics = result.metrics
+        metrics.algorithm = "unified"
+        if plan.index and not metrics.index:
+            metrics.index = plan.index
+        lazy_charge = 0.0
+        for structure in self.structures.values():
+            take = getattr(structure, "take_pending_charge", None)
+            if callable(take):
+                lazy_charge += take()
+        metrics.build_seconds += charge + lazy_charge
+        root = plan.root_stage
+        order = root.total_order or root.atom_order
+        engine = plan.engine if root.algorithm == "generic" else None
+        result = attach_profile(self.bound.query, result, observer,
+                                plan.choice, order, engine=engine,
+                                trace_out=trace_out)
+        if result.profile is not None:
+            result.profile.stages = reports
+        return result
+
+    def _run_stage(self, stage: PlanStage, relations: dict, observer,
+                   materialize: bool, depth: int):
+        """Execute one stage (children first); returns (result, reports).
+
+        Child outputs join as synthetic ``stage:<label>`` relations —
+        ordinary :class:`~repro.storage.relation.Relation` objects over
+        the materialized rows, which is what lets a binary pipeline
+        stage probe a Generic Join sub-plan's output with zero special
+        cases in the drivers.
+        """
+        plan = self.plan
+        reports: list[dict] = []
+        child_runs: list[JoinResult] = []
+        for child in stage.children:
+            child_obs = JoinObserver() if observer.enabled else NULL_OBSERVER
+            child_result, child_reports = self._run_stage(
+                child, relations, child_obs, True, depth + 1)
+            reports.extend(child_reports)
+            child_runs.append(child_result)
+            feeder = stage_alias(child.label)
+            relations[feeder] = Relation(feeder, child.output,
+                                         child_result.rows)
+        if stage.algorithm == "binary":
+            stages = []
+            for spec in stage.index_specs:
+                key_arity = spec.key_arity or 0
+                stages.append({
+                    "alias": spec.alias,
+                    "key_attrs": spec.attribute_order[:key_arity],
+                    "payload_attrs": spec.attribute_order[key_arity:],
+                    "key_positions": spec.permutation[:key_arity],
+                    "payload_positions": spec.permutation[key_arity:],
+                    "table": self.structures[spec.alias],
+                })
+            output = list(stage.query.attributes_of(stage.atom_order[0]))
+            for entry in stages:
+                output.extend(entry["payload_attrs"])
+            driver = BinaryHashJoin(stage.query, relations,
+                                    order=list(stage.atom_order),
+                                    obs=observer,
+                                    prebuilt=(stages, tuple(output)))
+        else:
+            adapters = {
+                atom.alias: IndexAdapter(relations[atom.alias],
+                                         self.structures[atom.alias],
+                                         stage.total_order)
+                for atom in stage.query.atoms
+            }
+            driver_cls = (GenericJoinBatch if stage.engine == "batch"
+                          else GenericJoin)
+            driver = driver_cls(stage.query, adapters,
+                                order=stage.total_order,
+                                dynamic_seed=plan.dynamic_seed, obs=observer)
+            driver.metrics.index = stage.index
+        result = driver.run(materialize=materialize)
+        choice = stage.choice
+        estimated = None
+        if choice is not None:
+            estimated = (choice.binary_estimate
+                         if stage.algorithm == "binary" else choice.agm_bound)
+        report = {
+            "label": stage.label,
+            "depth": depth,
+            "algorithm": stage.algorithm,
+            "engine": stage.engine or None,
+            "index": stage.index or None,
+            "order": list(stage.total_order or stage.atom_order),
+            "estimated_rows": (float(estimated) if estimated is not None
+                               else None),
+            "actual_rows": int(result.count),
+            "seconds": round(result.metrics.probe_seconds, 6),
+        }
+        # fold the children's work into this stage's metrics so the root
+        # result reports whole-query totals; a child's output rows are
+        # intermediates from the whole query's point of view
+        metrics = result.metrics
+        for child_result in child_runs:
+            child_metrics = child_result.metrics
+            metrics.probe_seconds += child_metrics.probe_seconds
+            metrics.build_seconds += child_metrics.build_seconds
+            metrics.lookups += child_metrics.lookups
+            metrics.intermediate_tuples += (
+                child_metrics.intermediate_tuples + child_result.count)
+        return result, [report] + reports
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -48,7 +48,8 @@ from repro.planner.query import JoinQuery, parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.relation import Relation
 
-ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog", "recursive", "auto")
+ALGORITHMS = ("generic", "binary", "hashtrie", "leapfrog", "recursive",
+              "unified", "auto")
 
 #: execution models for the Generic Join driver: tuple-at-a-time (the
 #: paper's Alg. 1 rendering), batch-at-a-time (vectorized candidate

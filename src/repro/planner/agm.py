@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.optimize import linprog
@@ -55,22 +56,34 @@ def fractional_cover(hypergraph: Hypergraph,
     Relations of size 0 or 1 contribute ``log N = 0`` to the objective;
     the LP then freely assigns them weight, which is fine — the bound is
     what matters and empty relations drive it to ≤ 1.
+
+    Solutions are memoized on the (structure, sizes) key: the scipy LP
+    setup dominates plan time for small queries, and both re-planned
+    queries and the Generic Join's per-level sub-problems hit the same
+    handful of keys over and over.
     """
     edge_names = list(hypergraph.edges)
     missing = [e for e in edge_names if e not in cardinalities]
     if missing:
         raise QueryError(f"no cardinality provided for edges {missing}")
+    structure = (
+        hypergraph.vertices,
+        tuple((name, tuple(sorted(hypergraph.edges[name])))
+              for name in edge_names),
+    )
+    sizes = tuple(int(cardinalities[name]) for name in edge_names)
+    return _solve_cover(structure, sizes)
 
-    costs = np.array([
-        math.log(max(cardinalities[name], 1)) + _LOG_FLOOR
-        for name in edge_names
-    ])
+
+@lru_cache(maxsize=1024)
+def _solve_cover(structure, sizes) -> FractionalCover:
+    vertices, edges = structure
+    edge_names = [name for name, _ in edges]
+    covers = [frozenset(attrs) for _, attrs in edges]
+    costs = np.array([math.log(max(n, 1)) + _LOG_FLOOR for n in sizes])
     # constraints: for each vertex v, -sum_{e ∋ v} u_e <= -1
-    rows = []
-    for vertex in hypergraph.vertices:
-        row = [-1.0 if vertex in hypergraph.edges[name] else 0.0
-               for name in edge_names]
-        rows.append(row)
+    rows = [[-1.0 if vertex in cover else 0.0 for cover in covers]
+            for vertex in vertices]
     result = linprog(
         c=costs,
         A_ub=np.array(rows),
@@ -80,12 +93,12 @@ def fractional_cover(hypergraph: Hypergraph,
     )
     if not result.success:
         raise QueryError(
-            f"AGM LP infeasible for {hypergraph!r}: {result.message}"
+            f"AGM LP infeasible for edges {edge_names}: {result.message}"
         )
     weights = {name: float(w) for name, w in zip(edge_names, result.x)}
     log_bound = sum(
-        weights[name] * math.log(max(cardinalities[name], 1))
-        for name in edge_names
+        weights[name] * math.log(max(n, 1))
+        for name, n in zip(edge_names, sizes)
     )
     bound = math.exp(log_bound)
     return FractionalCover(weights=weights, bound=bound, log_bound=log_bound)

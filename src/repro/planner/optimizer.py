@@ -112,6 +112,50 @@ def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
     return False
 
 
+def cyclic_core(hypergraph: Hypergraph) -> set[str]:
+    """Edge names surviving GYO reduction — the query's cyclic core.
+
+    The same ear-removal loop as :func:`is_alpha_acyclic`, but keeping
+    track of *which* edges survive: for an acyclic hypergraph the result
+    is empty; for a cyclic one it is the minimal sub-hypergraph that
+    actually needs worst-case optimal treatment.  The removed edges are
+    the GYO ears — acyclic attachments a binary pipeline handles without
+    blow-up risk — which is exactly the per-component split the unified
+    stage-tree planner builds on (core → Generic Join sub-plan, ears →
+    binary stages over the core's output).
+    """
+    edges = {name: set(attrs) for name, attrs in hypergraph.edges.items()}
+    changed = True
+    while changed and len(edges) > 1:
+        changed = False
+        counts: dict[str, int] = {}
+        for attrs in edges.values():
+            for vertex in attrs:
+                counts[vertex] = counts.get(vertex, 0) + 1
+        for attrs in edges.values():
+            lonely = {v for v in attrs if counts[v] == 1}
+            if lonely:
+                attrs -= lonely
+                changed = True
+        names = list(edges)
+        for name in names:
+            if name not in edges:
+                continue
+            attrs = edges[name]
+            if not attrs:
+                del edges[name]
+                changed = True
+                continue
+            absorbed = any(other != name and attrs <= other_attrs
+                           for other, other_attrs in edges.items())
+            if absorbed:
+                del edges[name]
+                changed = True
+    if len(edges) <= 1:
+        return set()
+    return set(edges)
+
+
 @dataclass(frozen=True)
 class PlanChoice:
     """The hybrid optimizer's decision and its rationale."""

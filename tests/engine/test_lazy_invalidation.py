@@ -1,0 +1,130 @@
+"""Regression: invalidation must close partially-built lazy adapters.
+
+The planted bug: ``relation.extend()`` mid-materialization bumps the
+fingerprint, the cache entry is invalidated, but a half-built lazy
+adapter kept deepening and firing its cache-upgrade callback — racing a
+*new* adapter's entry under the same logical spec and, worse, leaving a
+level built over the pre-extend snapshot visible through the upgraded
+entry.  ``IndexCache.invalidate_relation`` now ``close()``\\ s every
+``CLOSE_ON_INVALIDATE`` structure (outside the lock), detaching the
+callback; the pinned snapshot stays safe for in-flight readers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.data.graphs import random_edge_relation
+from repro.engine import Session
+from repro.indexes.lazy import LazyTrieAdapter
+
+TRIANGLE = "E1=E(a,b), E2=E(b,c), E3=E(c,a)"
+
+
+@pytest.fixture
+def edges():
+    return random_edge_relation(60, 240, seed=3)
+
+
+def lazy_keys(session):
+    return [key for key, entry in session.cache._entries.items()
+            if isinstance(entry.value, LazyTrieAdapter)]
+
+
+class TestInvalidationClosesLazyAdapters:
+    def test_invalidate_closes_and_detaches(self, edges):
+        relations = {"E1": edges, "E2": edges, "E3": edges}
+        with Session(relations) as session:
+            truth = session.execute(TRIANGLE, algorithm="generic").count
+            prepared = session.prepare(TRIANGLE, algorithm="generic",
+                                       lazy=True)
+            adapters = [entry.value
+                        for entry in session.cache._entries.values()
+                        if isinstance(entry.value, LazyTrieAdapter)]
+            # two distinct entries: E1/E2 share a permutation over the
+            # same relation, E3 flips it
+            assert len(adapters) == 2
+            assert all(not a.closed for a in adapters)
+            # (61, 62) touches no existing node, so it closes no triangle
+            edges.extend([(61, 62)])
+            dropped = session.invalidate(edges)
+            assert dropped >= 2
+            assert all(a.closed for a in adapters)
+            assert all(a.on_deepen is None for a in adapters)
+            # the in-flight prepared join still runs — over its pinned
+            # pre-extend snapshot, never a mixed-rows trie
+            assert prepared.execute().count == truth
+
+    def test_closed_adapter_never_upgrades_cache(self, edges):
+        relations = {"E1": edges, "E2": edges, "E3": edges}
+        with Session(relations) as session:
+            session.prepare(TRIANGLE, algorithm="generic", lazy=True)
+            keys = lazy_keys(session)
+            adapters = {key: session.cache._entries[key].value
+                        for key in keys}
+            edges.extend([(70, 71)])
+            session.invalidate(edges)
+            # fresh prepare repopulates the cache under the new
+            # fingerprint; deepening the *stale* adapters must not
+            # touch the new entries
+            session.execute(TRIANGLE, algorithm="generic", lazy=True)
+            fresh = {key: session.cache.built_depth(key)
+                     for key in lazy_keys(session)}
+            for adapter in adapters.values():
+                list(adapter.cursor().child_values())
+                adapter.cursor().try_descend(0)
+            assert {key: session.cache.built_depth(key)
+                    for key in lazy_keys(session)} == fresh
+
+    def test_eviction_does_not_close(self, edges):
+        relations = {"E1": edges, "E2": edges, "E3": edges}
+        # a tiny entry budget forces LRU eviction on every store
+        with Session(relations, cache_entries=1) as session:
+            session.prepare(TRIANGLE, algorithm="generic", lazy=True)
+            survivors = [entry.value
+                         for entry in session.cache._entries.values()]
+            assert len(survivors) == 1
+            # evicted adapters stay usable: eviction is a memory-budget
+            # decision, not a correctness event — only fingerprint
+            # invalidation severs an adapter from its snapshot's cache
+            result = session.execute(TRIANGLE, algorithm="generic",
+                                     lazy=True)
+            assert result.count > 0
+
+    def test_extend_racing_materialization_stays_consistent(self, edges):
+        relations = {"E1": edges, "E2": edges, "E3": edges}
+        with Session(relations) as session:
+            truth = session.execute(TRIANGLE, algorithm="generic").count
+            prepared = session.prepare(TRIANGLE, algorithm="generic",
+                                       lazy=True)
+            barrier = threading.Barrier(2)
+            errors: list = []
+            counts: list = []
+
+            def run_join():
+                try:
+                    barrier.wait(timeout=10)
+                    counts.append(prepared.execute().count)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def mutate():
+                try:
+                    barrier.wait(timeout=10)
+                    edges.extend([(200, 201), (201, 202)])
+                    session.invalidate(edges)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=run_join),
+                       threading.Thread(target=mutate)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            # the prepared join pinned its snapshot before the extend:
+            # it must see exactly the pre-extend triangles
+            assert counts == [truth]

@@ -36,6 +36,29 @@ class TestDemoRuns:
             assert event["ph"] == "X"
             assert set(event) >= {"name", "ts", "dur", "pid", "tid", "cat"}
 
+    def test_explain_renders_the_stage_tree(self, capsys):
+        assert main(["--demo", "triangle", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm=unified" in out
+        assert "stage tree:" in out
+        assert "stage root:" in out
+
+    def test_explain_keeps_an_explicit_algorithm(self, capsys):
+        assert main(["--demo", "triangle", "--explain",
+                     "--algorithm", "generic"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm=generic_join" in out
+        assert "stage tree:" not in out
+
+    def test_explain_json_carries_stages(self, tmp_path):
+        json_out = tmp_path / "profile.json"
+        assert main(["--demo", "triangle", "--explain", "--quiet",
+                     "--json", str(json_out)]) == 0
+        payload = json.loads(json_out.read_text())
+        validate_profile(payload)
+        assert payload["stages"]
+        assert payload["stages"][0]["label"] == "root"
+
     def test_engine_flag_reaches_the_profile(self, tmp_path):
         json_out = tmp_path / "profile.json"
         assert main(["--demo", "triangle", "--quiet", "--engine", "batch",
